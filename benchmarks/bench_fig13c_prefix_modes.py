@@ -1,0 +1,74 @@
+"""Fig 13c: single-prefix vs all-prefixes, interpreted vs native simulation.
+
+Paper setup: fault-tolerance analysis over SP16/FAT16, either one run with
+the all-prefixes model or one run per announced prefix (128 destinations);
+single-prefix native was 3-7x faster overall than all-prefixes, and native
+execution beat the interpreter when the per-map work is complex.
+
+Scaled setup: FatTree k=6 (9 leaf prefixes) single-link fault tolerance.
+Four modes: {single-prefix, all-prefixes} x {interpreted, native}.  Native
+times include compilation (amortised across per-prefix runs, as in the
+paper: compile once, simulate per destination).
+"""
+
+import pytest
+
+from repro.analysis.fault import fault_tolerance_analysis
+from repro.eval.compile_py import compile_network_functions
+from repro.srp.network import functions_from_program
+from repro.topology import leaf_nodes, sp_program
+
+K = 6
+PREFIXES = leaf_nodes(K)
+
+
+def native_factory(ft_net, symbolics, ctx, interp):
+    return compile_network_functions(ft_net, symbolics, ctx=ctx)
+
+
+def run_single_prefix(networks_cache, backend: str) -> int:
+    """One fault-tolerance run per destination prefix; returns total
+    violating scenario keys (so benchmarks validate consistency)."""
+    total = 0
+    for dest in PREFIXES:
+        net = networks_cache(sp_program(K, dest=dest))
+        report = fault_tolerance_analysis(
+            net, num_link_failures=1,
+            functions_factory=native_factory if backend == "native" else None)
+        total += report.total_violations
+    return total
+
+
+def run_all_prefixes(networks_cache, backend: str) -> int:
+    """A single run on the all-prefixes meta-protocol model.
+
+    The per-prefix RIB lives *inside* the scenario map's leaves, so the drop
+    value clears every prefix entry (the generalised fig 5 default).
+    """
+    from repro.lang.parser import parse_expr
+    from repro.topology import all_prefixes_program
+    net = networks_cache(all_prefixes_program(K, "sp"))
+    report = fault_tolerance_analysis(
+        net, num_link_failures=1,
+        drop_body=parse_expr("map (fun r -> None) __v"),
+        functions_factory=native_factory if backend == "native" else None)
+    return report.total_violations
+
+
+@pytest.mark.parametrize("backend", ["interp", "native"])
+def test_single_prefix(benchmark, backend, networks_cache):
+    total = benchmark.pedantic(
+        lambda: run_single_prefix(networks_cache, backend),
+        iterations=1, rounds=1)
+    benchmark.extra_info.update({"mode": f"single-{backend}",
+                                 "violations": total})
+    assert total == 0  # FatTree(6) tolerates any single link failure
+
+
+@pytest.mark.parametrize("backend", ["interp", "native"])
+def test_all_prefixes(benchmark, backend, networks_cache):
+    total = benchmark.pedantic(
+        lambda: run_all_prefixes(networks_cache, backend),
+        iterations=1, rounds=1)
+    benchmark.extra_info.update({"mode": f"all-{backend}",
+                                 "violations": total})

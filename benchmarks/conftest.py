@@ -1,0 +1,40 @@
+"""Shared workload builders for the benchmark harness.
+
+Every benchmark regenerates one table/figure of the paper's evaluation
+(§6), scaled down so the pure-Python substrate finishes in minutes: the
+paper's FatTree sizes k=8..32 become k=4..12 here, and the SMT benchmarks
+use the int8 BGP model (see DESIGN.md's substitution table).  The *shape* of
+each comparison — who wins, how curves grow — is the reproduction target,
+not absolute times.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+EXPERIMENTS.md records one full run and compares it against the paper.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.lang.parser import parse_program
+from repro.protocols import resolve
+from repro.srp.network import Network
+
+
+def load_network(source: str) -> Network:
+    return Network.from_program(parse_program(source, resolve))
+
+
+@pytest.fixture(scope="session")
+def networks_cache():
+    """Parse/type-check cache shared across benchmarks in one session."""
+    cache: dict[str, Network] = {}
+
+    def get(source: str) -> Network:
+        if source not in cache:
+            cache[source] = load_network(source)
+        return cache[source]
+
+    return get

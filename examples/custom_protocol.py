@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""Building a non-standard protocol from NV's building blocks (paper §2.6).
+
+The paper cites a MineSweeper feature request — changing how BGP ranks
+routes — as weeks of solver-encoding work in other tools, versus editing one
+NV function.  This example goes further and assembles a *custom* protocol:
+
+* routes carry both a hop count and a bandwidth bottleneck (widest-path);
+* selection prefers higher bottleneck bandwidth, then fewer hops;
+* the same model runs unchanged through simulation, SMT verification and the
+  fault-tolerance meta-protocol.
+"""
+
+import repro
+
+# Bandwidths per link (asymmetric on purpose): the top path is short but
+# thin, the bottom path long but fat.
+MODEL = """
+type wroute = {hops:int8; bw:int8}
+type attribute = option[wroute]
+
+let nodes = 5
+let edges = {0n=1n; 1n=4n; 0n=2n; 2n=3n; 3n=4n}
+
+// Link bandwidth table (both directions), as a plain NV function.
+let bandwidth (e : edge) =
+  let (u, v) = e in
+  if (u = 0n && v = 1n) || (u = 1n && v = 0n) then 1u8
+  else if (u = 1n && v = 4n) || (u = 4n && v = 1n) then 1u8
+  else 10u8
+
+let min a b = if a <= b then a else b
+
+let trans (e : edge) (x : attribute) =
+  match x with
+  | None -> None
+  | Some r -> Some {hops = r.hops + 1u8; bw = min r.bw (bandwidth e)}
+
+// Widest path first; hop count breaks ties.
+let merge (u : node) (x y : attribute) =
+  match x, y with
+  | _, None -> x
+  | None, _ -> y
+  | Some r1, Some r2 ->
+    if r1.bw > r2.bw then x
+    else if r2.bw > r1.bw then y
+    else if r1.hops <= r2.hops then x else y
+
+let init (u : node) =
+  if u = 0n then Some {hops = 0u8; bw = 255u8} else None
+
+// Every node must end up with at least 10 units of bandwidth to node 0 —
+// except the nodes stuck behind the thin link.
+let assert (u : node) (x : attribute) =
+  match x with
+  | None -> false
+  | Some r -> if u = 1n then true else r.bw >= 10u8
+"""
+
+
+def main() -> None:
+    net = repro.load(MODEL)
+
+    print("=== simulate the widest-path protocol ===")
+    report = repro.simulate(net)
+    print(report.summary())
+    for u in range(5):
+        route = report.solution.labels[u]
+        r = route.value
+        print(f"node {u}: hops={r.get('hops')} bottleneck={r.get('bw')}")
+    # Node 4 prefers the long fat path (3 hops, bw 10) over the short thin
+    # one (2 hops, bw 1) — shortest-path routing would choose the opposite.
+    assert report.solution.labels[4].value.get("bw") == 10
+
+    print("\n=== verify the bandwidth guarantee over all stable states ===")
+    result = repro.verify(net)
+    print(result.summary())
+
+    print("\n=== and under every single-link failure ===")
+    ft = repro.check_fault_tolerance(net, link_failures=1, witnesses=True)
+    print(ft.summary())
+    if not ft.fault_tolerant:
+        for node, witness in sorted(ft.witnesses.items()):
+            print(f"  node {node} drops below guarantee when {witness} fails")
+    print("\nOne model, three analyses, zero solver code — the paper's point.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,22 @@
+"""NV: an intermediate language for verification of network control planes.
+
+A from-scratch Python reproduction of Giannarakis, Loehr, Beckett & Walker,
+PLDI 2020.  See :mod:`repro.api` for the high-level entry points:
+
+    >>> import repro
+    >>> net = repro.load('''
+    ... include rip
+    ... let nodes = 3
+    ... let edges = {0n=1n; 1n=2n; 0n=2n}
+    ... let trans e x = transRip e x
+    ... let merge u x y = mergeRip u x y
+    ... let init (u : node) = if u = 0n then Some 0u8 else None
+    ... ''')
+    >>> repro.simulate(net).solution.labels[2]
+    Some(1)
+"""
+
+from .api import check_fault_tolerance, load, simulate, verify
+
+__all__ = ["load", "simulate", "verify", "check_fault_tolerance"]
+__version__ = "0.1.0"

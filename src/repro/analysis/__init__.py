@@ -1,0 +1,8 @@
+"""Analysis drivers: simulation, SMT verification, fault tolerance (paper §5-6)."""
+
+from .fault import FaultReport, fault_tolerance_analysis, naive_fault_tolerance
+from .simulation import SimulationReport, run_simulation
+from .verify import verify
+
+__all__ = ["run_simulation", "SimulationReport", "verify",
+           "fault_tolerance_analysis", "naive_fault_tolerance", "FaultReport"]

@@ -1,0 +1,76 @@
+"""A small library of assertion builders for common control-plane properties.
+
+The paper expresses properties as ``assert`` declarations over the converged
+state (§2.4).  These helpers generate that NV source for the recurring ones —
+reachability, origin validation (no hijack), path-length bounds, waypointing
+— so users can bolt a property onto an existing model:
+
+    src = base_model + reachability()
+    net = repro.load(src)
+
+Each builder returns a complete ``let assert ...`` declaration; the model
+must not already define one.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+
+def reachability() -> str:
+    """Every node ends up with some route (fig 12's property)."""
+    return """
+let assert (u : node) (x : attribute) =
+  match x with
+  | None -> false
+  | Some b -> true
+"""
+
+
+def origin_validation(origin: int, external: Iterable[int] = ()) -> str:
+    """No hijack: every internal node's route originates at ``origin``
+    (fig 2b's property).  ``external`` nodes are exempt."""
+    exempt = " || ".join(f"u = {v}n" for v in external) or "false"
+    return f"""
+let assert (u : node) (x : attribute) =
+  match x with
+  | None -> {exempt}
+  | Some b -> if ({exempt}) then true else b.origin = {origin}n
+"""
+
+
+def bounded_path_length(bound: int, width: int = 32) -> str:
+    """Every route's path length stays within ``bound`` hops."""
+    suffix = "" if width == 32 else f"u{width}"
+    return f"""
+let assert (u : node) (x : attribute) =
+  match x with
+  | None -> false
+  | Some b -> b.length <= {bound}{suffix}
+"""
+
+
+def waypoint(node: int, at: Iterable[int]) -> str:
+    """Traversed-set waypointing (fig 3): routes selected at the nodes in
+    ``at`` must cross ``node``.  Requires the ``bgpTraversed`` model."""
+    guarded = " || ".join(f"u = {v}n" for v in at) or "false"
+    return f"""
+let assert (u : node) (x : attributeT) =
+  match x with
+  | None -> false
+  | Some (s, b) -> if ({guarded}) then s[{node}n] else true
+"""
+
+
+def no_transit(tagged_community: int, forbidden_edges: Iterable[tuple[int, int]]
+               ) -> str:
+    """Business policy: routes carrying a peer tag must not be selected at
+    the far side of the given links (the fig 1 'no free transit' idiom).
+    The community must be attached by the import policy of peer links."""
+    tests = " || ".join(f"u = {v}n" for _, v in forbidden_edges) or "false"
+    return f"""
+let assert (u : node) (x : attribute) =
+  match x with
+  | None -> true
+  | Some b -> if ({tests}) then !(b.comms[{tagged_community}]) else true
+"""

@@ -1,0 +1,67 @@
+"""Simulation analysis driver: run a network to its stable state.
+
+Wraps the worklist simulator with backend selection (interpreted vs compiled,
+§5.1's "native simulation") and returns timing/stats so the benchmark harness
+can report the same splits as the paper's fig 13c/14 (compile time included
+or excluded).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from time import perf_counter
+from typing import Any
+
+from ..eval.compile_py import compile_network_functions
+from ..srp.network import Network, functions_from_program
+from ..srp.simulate import simulate
+from ..srp.solution import Solution
+
+
+@dataclass
+class SimulationReport:
+    solution: Solution
+    backend: str
+    setup_seconds: float        # interpreter env build or compilation
+    simulate_seconds: float
+    violations: list[int]
+
+    @property
+    def total_seconds(self) -> float:
+        return self.setup_seconds + self.simulate_seconds
+
+    def summary(self) -> str:
+        status = "assertions hold" if not self.violations else (
+            f"{len(self.violations)} nodes violate the assertion")
+        return (f"[{self.backend}] {status}; setup {self.setup_seconds:.3f}s, "
+                f"simulate {self.simulate_seconds:.3f}s, "
+                f"{self.solution.iterations} activations, "
+                f"{self.solution.messages} messages")
+
+
+def run_simulation(net: Network, symbolics: dict[str, Any] | None = None,
+                   backend: str = "interp",
+                   incremental: bool = True) -> SimulationReport:
+    """Simulate ``net`` to convergence.
+
+    ``backend`` is ``"interp"`` (AST-walking evaluator) or ``"native"``
+    (NV compiled to Python, the paper's native simulation).  ``incremental``
+    toggles the incremental-merge optimisation of Algorithm 1 (the ablation
+    benchmark measures it).
+    """
+    t0 = perf_counter()
+    if backend == "interp":
+        funcs = functions_from_program(net, symbolics)
+    elif backend == "native":
+        funcs = compile_network_functions(net, symbolics)
+    else:
+        raise ValueError(f"unknown backend {backend!r}; use 'interp' or 'native'")
+    setup_seconds = perf_counter() - t0
+
+    t0 = perf_counter()
+    solution = simulate(funcs, incremental=incremental)
+    simulate_seconds = perf_counter() - t0
+
+    violations = solution.check_assertions(funcs.assert_fn)
+    return SimulationReport(solution, backend, setup_seconds,
+                            simulate_seconds, violations)

@@ -1,0 +1,168 @@
+"""SMT-based verification driver (paper §5.2, §6.2).
+
+Builds the stable-state constraint system ``N ∧ require ∧ ¬P`` for a network
+and decides it with the bundled CDCL solver.  UNSAT means the assertion holds
+in every stable state for every assignment of symbolic values; SAT yields a
+counterexample: concrete symbolic values plus the converged attribute of each
+node, decoded from the model.
+"""
+
+from __future__ import annotations
+
+from time import perf_counter
+from typing import Any
+
+from ..eval.values import VClosure, VRecord, VSome
+from ..lang import ast as A
+from ..lang import types as T
+from ..lang.errors import NvEncodingError
+from ..smt.encode_nv import (NvSmtEncoder, TB, TEdgeV, TI, TMap, TOpt, TRec,
+                             TTup, TermEvaluator, VerificationResult)
+from ..smt.solver import Solver
+from ..srp.network import Network
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class DecodedMap:
+    """A decoded (unrolled) map from an SMT model: tracked entries plus the
+    shared default for every other key."""
+
+    entries: tuple[tuple[Any, Any], ...]
+    default: Any
+
+    def get(self, key: Any) -> Any:
+        for k, v in self.entries:
+            if k == key:
+                return v
+        return self.default
+
+
+def encode_network(net: Network, simplify: bool = True
+                   ) -> tuple[NvSmtEncoder, TermEvaluator, int]:
+    """Encode the stable-state semantics of ``net``; returns the encoder, the
+    evaluator and the boolean term for the property P (conjunction of the
+    assertion over all nodes)."""
+    enc = NvSmtEncoder(net, simplify=simplify)
+    ev = TermEvaluator(enc)
+    tm = enc.tm
+    enc.collect_map_keys()
+
+    # Declarations evaluate in order; symbolics become fresh variables.
+    env: dict[str, Any] = {}
+    for d in net.program.decls:
+        if isinstance(d, A.DSymbolic):
+            var = enc.make_var(d.ty, f"sym.{d.name}")
+            enc.symbolic_vals[d.name] = (d.ty, var)
+            env[d.name] = var
+        elif isinstance(d, A.DLet):
+            env[d.name] = ev.eval(d.expr, env)
+        elif isinstance(d, A.DRequire):
+            req = ev.eval(d.expr, env)
+            enc.constraints.append(ev.to_bool_term(req))
+
+    init_f = env["init"]
+    trans_f = env["trans"]
+    merge_f = env["merge"]
+    assert_f = env.get("assert")
+
+    # Attribute variable per node.
+    for u in range(net.num_nodes):
+        enc.attr_vals[u] = enc.make_var(net.attr_ty, f"attr.{u}")
+
+    in_edges: list[list[tuple[int, int]]] = [[] for _ in range(net.num_nodes)]
+    for u, v in net.edges:
+        in_edges[v].append((u, v))
+
+    # Stable-state constraints (§2.5): A_u = init(u) ⊕ trans(e, A_v) ...
+    for u in range(net.num_nodes):
+        expected = ev.apply(init_f, u)
+        for edge in in_edges[u]:
+            transferred = ev.apply(ev.apply(trans_f, edge), enc.attr_vals[edge[0]])
+            expected = ev.apply(ev.apply(ev.apply(merge_f, u), expected), transferred)
+        if not isinstance(expected, (TB, TI, TOpt, TTup, TRec, TMap, TEdgeV)):
+            expected = enc.lift(expected, net.attr_ty)
+        enc.constraints.append(enc.t_eq(enc.attr_vals[u], expected))
+
+    # The property P.
+    prop = tm.true
+    if assert_f is not None:
+        for u in range(net.num_nodes):
+            holds = ev.apply(ev.apply(assert_f, u), enc.attr_vals[u])
+            prop = tm.mk_and(prop, ev.to_bool_term(holds))
+    return enc, ev, prop
+
+
+def verify(net: Network, simplify: bool = True,
+           max_conflicts: int | None = None) -> VerificationResult:
+    """Verify the network's assertion over all stable states and all
+    assignments to symbolic values."""
+    t0 = perf_counter()
+    enc, ev, prop = encode_network(net, simplify=simplify)
+    solver = Solver(enc.tm)
+    for c in enc.constraints:
+        solver.add(c)
+    solver.add(enc.tm.mk_not(prop))
+    encode_seconds = perf_counter() - t0
+
+    smt = solver.check(max_conflicts)
+    if smt.is_unsat:
+        return VerificationResult(True, "verified", smt, encode_seconds)
+    if smt.status == "unknown":
+        return VerificationResult(False, "unknown", smt, encode_seconds)
+
+    assignment: dict[str, Any] = {}
+    assignment.update(smt.model_bools)
+    assignment.update(smt.model_bvs)
+    counterexample = {
+        name: decode_tval(enc, tval, ty, assignment)
+        for name, (ty, tval) in enc.symbolic_vals.items()
+    }
+    node_attrs = {
+        u: decode_tval(enc, tval, net.attr_ty, assignment)
+        for u, tval in enc.attr_vals.items()
+    }
+    return VerificationResult(False, "counterexample", smt, encode_seconds,
+                              counterexample, node_attrs)
+
+
+def decode_tval(enc: NvSmtEncoder, tval: Any, ty: T.Type,
+                assignment: dict[str, Any]) -> Any:
+    """Reconstruct a concrete NV value from a term value under a model."""
+    tm = enc.tm
+    if not isinstance(tval, (TB, TI, TOpt, TTup, TRec, TMap, TEdgeV)):
+        return tval  # already concrete
+    if isinstance(tval, TB):
+        return bool(tm.evaluate(tval.term, assignment))
+    if isinstance(tval, TI):
+        return int(tm.evaluate(tval.term, assignment))
+    if isinstance(tval, TEdgeV):
+        return (int(tm.evaluate(tval.src.term, assignment)),
+                int(tm.evaluate(tval.dst.term, assignment)))
+    if isinstance(tval, TOpt):
+        assert isinstance(ty, T.TOption)
+        if not tm.evaluate(tval.tag, assignment):
+            return None
+        return VSome(decode_tval(enc, tval.payload, ty.elt, assignment))
+    if isinstance(tval, TTup):
+        assert isinstance(ty, T.TTuple)
+        return tuple(decode_tval(enc, v, t, assignment)
+                     for v, t in zip(tval.elts, ty.elts))
+    if isinstance(tval, TRec):
+        assert isinstance(ty, T.TRecord)
+        return VRecord(tuple(
+            (n, decode_tval(enc, v, ty.field_type(n), assignment))
+            for n, v in tval.fields))
+    if isinstance(tval, TMap):
+        entries = tuple(sorted(
+            (k, decode_tval(enc, v, tval.value_ty, assignment))
+            for k, v in tval.entries.items()))
+        default = decode_tval(enc, tval.default, tval.value_ty, assignment)
+        return DecodedMap(entries, default)
+    raise NvEncodingError(f"cannot decode {type(tval).__name__}")
+
+
+def verify_reachability(net: Network, **kwargs: Any) -> VerificationResult:
+    """Convenience wrapper matching the paper's fig 12 property: the program's
+    own assert declaration states reachability; this just runs :func:`verify`."""
+    return verify(net, **kwargs)

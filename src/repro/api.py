@@ -1,0 +1,70 @@
+"""High-level public API for the NV reproduction.
+
+Typical use::
+
+    import repro
+
+    net = repro.load("include bgp ...")          # parse + type check
+    report = repro.simulate(net)                 # MTBDD simulation
+    result = repro.verify(net)                   # SMT verification
+    faults = repro.check_fault_tolerance(net)    # fig 5 meta-protocol
+
+NV source can ``include`` any module from :mod:`repro.protocols`
+(``bgp``, ``bgpNarrow``, ``bgpTraversed``, ``ospf``, ``rip``, ``static``).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from .analysis.fault import FaultReport, fault_tolerance_analysis
+from .analysis.simulation import SimulationReport, run_simulation
+from .analysis.verify import verify as _verify
+from .lang.parser import parse_program
+from .protocols import resolve as _resolve
+from .smt.encode_nv import VerificationResult
+from .srp.network import Network
+
+
+def load(source: str) -> Network:
+    """Parse, type check and structure an NV program as a network."""
+    return Network.from_program(parse_program(source, _resolve))
+
+
+def simulate(net: Network, symbolics: dict[str, Any] | None = None,
+             backend: str = "interp") -> SimulationReport:
+    """Compute the network's stable state by simulation (paper §5.1).
+
+    Symbolic values must be given concrete assignments via ``symbolics``.
+    ``backend="native"`` compiles NV to Python first (faster for complex
+    policy; pays a compilation cost).
+    """
+    return run_simulation(net, symbolics, backend)
+
+
+def verify(net: Network, **kwargs: Any) -> VerificationResult:
+    """Verify the network's assertion over *all* stable states and *all*
+    symbolic-value assignments via SMT (paper §5.2)."""
+    return _verify(net, **kwargs)
+
+
+def check_fault_tolerance(net: Network, symbolics: dict[str, Any] | None = None,
+                          link_failures: int = 1, node_failures: bool = False,
+                          witnesses: bool = False,
+                          drop: str | None = None) -> FaultReport:
+    """Run the fault-tolerance meta-protocol (paper fig 5): simulate every
+    combination of up to ``link_failures`` link failures (plus optionally one
+    node failure) at once and check the assertion under each.
+
+    ``drop`` is NV source for the dropped-route value with the pre-failure
+    route bound to ``__v`` (default: ``None``, for option-typed attributes).
+    """
+    drop_body = None
+    if drop is not None:
+        from .lang.parser import parse_expr
+        drop_body = parse_expr(drop)
+    return fault_tolerance_analysis(net, symbolics,
+                                    num_link_failures=link_failures,
+                                    node_failures=node_failures,
+                                    with_witnesses=witnesses,
+                                    drop_body=drop_body)

@@ -1,0 +1,8 @@
+"""The paper's comparison systems, rebuilt: a Batfish-style per-prefix
+simulator (fig 14) and a MineSweeper-style unsimplified SMT encoder (fig 12)."""
+
+from .batfish_sim import BgpRoute, ShortestPathPolicy, ValleyFreePolicy, simulate_batfish
+from .minesweeper import verify_minesweeper
+
+__all__ = ["simulate_batfish", "BgpRoute", "ShortestPathPolicy",
+           "ValleyFreePolicy", "verify_minesweeper"]

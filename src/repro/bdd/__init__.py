@@ -1,0 +1,5 @@
+"""Hash-consed BDD/MTBDD engine (paper §5.1, fig 11)."""
+
+from .manager import BddManager, LEAF_LEVEL
+
+__all__ = ["BddManager", "LEAF_LEVEL"]

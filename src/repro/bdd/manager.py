@@ -1,0 +1,507 @@
+"""Hash-consed BDD/MTBDD node manager.
+
+This module implements the decision-diagram substrate described in section 5.1
+of the NV paper.  A single node store represents both plain BDDs (multi-terminal
+diagrams whose leaves are the Python booleans ``True``/``False``) and MTBDDs
+(leaves are arbitrary hashable Python values).  All nodes are hash-consed, so
+structural equality of diagrams is pointer (integer id) equality — the paper
+relies on this for the fast "did this node's attribute change?" test in the
+simulator, and on leaf sharing for the fault-tolerance analysis.
+
+Nodes are identified by non-negative integers.  Internal nodes carry a
+*level* (the variable index tested; lower levels are tested first) and two
+children ``lo``/``hi`` for the variable being false/true.  Leaves carry an
+arbitrary hashable value and live at the sentinel level ``LEAF_LEVEL``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterator
+
+LEAF_LEVEL = 1 << 30
+
+
+class BddManager:
+    """Owns a shared node store, unique table and operation caches."""
+
+    def __init__(self) -> None:
+        # Parallel arrays describing each node.
+        self._level: list[int] = []
+        self._lo: list[int] = []
+        self._hi: list[int] = []
+        self._leaf_value: list[Any] = []
+        # Hash-consing tables.
+        self._unique: dict[tuple[int, int, int], int] = {}
+        self._leaf_table: dict[Any, int] = {}
+        # Memo tables for the structural boolean operations.
+        self._op_cache: dict[tuple[Any, ...], int] = {}
+        self.false = self.leaf(False)
+        self.true = self.leaf(True)
+
+    # ------------------------------------------------------------------
+    # Node construction
+    # ------------------------------------------------------------------
+
+    def leaf(self, value: Any) -> int:
+        """Return the hash-consed leaf node carrying ``value``."""
+        try:
+            node = self._leaf_table.get(value)
+        except TypeError as exc:  # unhashable value
+            raise TypeError(f"MTBDD leaf values must be hashable, got {value!r}") from exc
+        if node is not None:
+            return node
+        node = len(self._level)
+        self._level.append(LEAF_LEVEL)
+        self._lo.append(-1)
+        self._hi.append(-1)
+        self._leaf_value.append(value)
+        self._leaf_table[value] = node
+        return node
+
+    def mk(self, level: int, lo: int, hi: int) -> int:
+        """Return the node testing variable ``level`` with children lo/hi.
+
+        Applies the standard reduction: if both children are equal the test is
+        redundant and the child is returned directly.
+        """
+        if lo == hi:
+            return lo
+        key = (level, lo, hi)
+        node = self._unique.get(key)
+        if node is not None:
+            return node
+        node = len(self._level)
+        self._level.append(level)
+        self._lo.append(lo)
+        self._hi.append(hi)
+        self._leaf_value.append(None)
+        self._unique[key] = node
+        return node
+
+    def var(self, level: int) -> int:
+        """The BDD for the single variable at ``level``."""
+        return self.mk(level, self.false, self.true)
+
+    def nvar(self, level: int) -> int:
+        """The BDD for the negation of the variable at ``level``."""
+        return self.mk(level, self.true, self.false)
+
+    # ------------------------------------------------------------------
+    # Node inspection
+    # ------------------------------------------------------------------
+
+    def is_leaf(self, node: int) -> bool:
+        return self._level[node] == LEAF_LEVEL
+
+    def leaf_value(self, node: int) -> Any:
+        if not self.is_leaf(node):
+            raise ValueError(f"node {node} is not a leaf")
+        return self._leaf_value[node]
+
+    def level(self, node: int) -> int:
+        return self._level[node]
+
+    def lo(self, node: int) -> int:
+        return self._lo[node]
+
+    def hi(self, node: int) -> int:
+        return self._hi[node]
+
+    def node_count(self, root: int) -> int:
+        """Number of distinct nodes (incl. leaves) reachable from ``root``."""
+        seen: set[int] = set()
+        stack = [root]
+        while stack:
+            n = stack.pop()
+            if n in seen:
+                continue
+            seen.add(n)
+            if not self.is_leaf(n):
+                stack.append(self._lo[n])
+                stack.append(self._hi[n])
+        return len(seen)
+
+    def size(self) -> int:
+        """Total number of nodes allocated in this manager."""
+        return len(self._level)
+
+    # ------------------------------------------------------------------
+    # Boolean operations (on diagrams whose leaves are True/False)
+    # ------------------------------------------------------------------
+
+    def bnot(self, a: int) -> int:
+        key = ("not", a)
+        cached = self._op_cache.get(key)
+        if cached is not None:
+            return cached
+        if self.is_leaf(a):
+            result = self.leaf(not self._leaf_value[a])
+        else:
+            result = self.mk(
+                self._level[a], self.bnot(self._lo[a]), self.bnot(self._hi[a])
+            )
+        self._op_cache[key] = result
+        return result
+
+    def band(self, a: int, b: int) -> int:
+        if a == b:
+            return a
+        if a == self.false or b == self.false:
+            return self.false
+        if a == self.true:
+            return b
+        if b == self.true:
+            return a
+        if a > b:
+            a, b = b, a
+        key = ("and", a, b)
+        cached = self._op_cache.get(key)
+        if cached is not None:
+            return cached
+        la, lb = self._level[a], self._level[b]
+        lvl = min(la, lb)
+        a0, a1 = (self._lo[a], self._hi[a]) if la == lvl else (a, a)
+        b0, b1 = (self._lo[b], self._hi[b]) if lb == lvl else (b, b)
+        result = self.mk(lvl, self.band(a0, b0), self.band(a1, b1))
+        self._op_cache[key] = result
+        return result
+
+    def bor(self, a: int, b: int) -> int:
+        return self.bnot(self.band(self.bnot(a), self.bnot(b)))
+
+    def bxor(self, a: int, b: int) -> int:
+        if a == b:
+            return self.false
+        if a == self.false:
+            return b
+        if b == self.false:
+            return a
+        if a == self.true:
+            return self.bnot(b)
+        if b == self.true:
+            return self.bnot(a)
+        if a > b:
+            a, b = b, a
+        key = ("xor", a, b)
+        cached = self._op_cache.get(key)
+        if cached is not None:
+            return cached
+        la, lb = self._level[a], self._level[b]
+        lvl = min(la, lb)
+        a0, a1 = (self._lo[a], self._hi[a]) if la == lvl else (a, a)
+        b0, b1 = (self._lo[b], self._hi[b]) if lb == lvl else (b, b)
+        result = self.mk(lvl, self.bxor(a0, b0), self.bxor(a1, b1))
+        self._op_cache[key] = result
+        return result
+
+    def bimplies(self, a: int, b: int) -> int:
+        return self.bor(self.bnot(a), b)
+
+    def biff(self, a: int, b: int) -> int:
+        return self.bnot(self.bxor(a, b))
+
+    def bite(self, c: int, t: int, e: int) -> int:
+        """If-then-else over boolean diagrams."""
+        if c == self.true:
+            return t
+        if c == self.false:
+            return e
+        if t == e:
+            return t
+        key = ("ite", c, t, e)
+        cached = self._op_cache.get(key)
+        if cached is not None:
+            return cached
+        lvl = min(self._level[c], self._level[t], self._level[e])
+        c0, c1 = self._cof(c, lvl)
+        t0, t1 = self._cof(t, lvl)
+        e0, e1 = self._cof(e, lvl)
+        result = self.mk(lvl, self.bite(c0, t0, e0), self.bite(c1, t1, e1))
+        self._op_cache[key] = result
+        return result
+
+    def _cof(self, node: int, lvl: int) -> tuple[int, int]:
+        """Cofactors of ``node`` with respect to the variable at ``lvl``."""
+        if self._level[node] == lvl:
+            return self._lo[node], self._hi[node]
+        return node, node
+
+    # ------------------------------------------------------------------
+    # MTBDD operations
+    # ------------------------------------------------------------------
+
+    def apply1(self, fn: Callable[[Any], Any], root: int,
+               memo: dict[int, int] | None = None) -> int:
+        """Map ``fn`` over every leaf of ``root``.
+
+        Thanks to leaf sharing, ``fn`` is invoked once per *distinct* leaf.
+        A caller-provided ``memo`` lets repeated calls share work (the paper
+        caches diagram operations across simulation steps).
+        """
+        if memo is None:
+            memo = {}
+        leaf_memo: dict[int, int] = {}
+
+        def rec(n: int) -> int:
+            cached = memo.get(n)
+            if cached is not None:
+                return cached
+            if self._level[n] == LEAF_LEVEL:
+                result = leaf_memo.get(n)
+                if result is None:
+                    result = self.leaf(fn(self._leaf_value[n]))
+                    leaf_memo[n] = result
+            else:
+                result = self.mk(self._level[n], rec(self._lo[n]), rec(self._hi[n]))
+            memo[n] = result
+            return result
+
+        return rec(root)
+
+    def apply2(self, fn: Callable[[Any, Any], Any], a: int, b: int,
+               memo: dict[tuple[int, int], int] | None = None) -> int:
+        """Combine two diagrams leaf-wise with the binary function ``fn``."""
+        if memo is None:
+            memo = {}
+
+        def rec(x: int, y: int) -> int:
+            key = (x, y)
+            cached = memo.get(key)
+            if cached is not None:
+                return cached
+            lx, ly = self._level[x], self._level[y]
+            if lx == LEAF_LEVEL and ly == LEAF_LEVEL:
+                result = self.leaf(fn(self._leaf_value[x], self._leaf_value[y]))
+            else:
+                lvl = min(lx, ly)
+                x0, x1 = self._cof(x, lvl)
+                y0, y1 = self._cof(y, lvl)
+                result = self.mk(lvl, rec(x0, y0), rec(x1, y1))
+            memo[key] = result
+            return result
+
+        return rec(a, b)
+
+    def map_ite(self, pred: int, fn_true: Callable[[Any], Any],
+                fn_false: Callable[[Any], Any], root: int) -> int:
+        """The NV ``mapIte`` primitive (fig 11 of the paper).
+
+        ``pred`` is a boolean BDD over the map's key bits; leaves of ``root``
+        reached under keys satisfying ``pred`` are mapped with ``fn_true``,
+        the rest with ``fn_false``.
+        """
+        memo_true: dict[int, int] = {}
+        memo_false: dict[int, int] = {}
+        memo: dict[tuple[int, int], int] = {}
+
+        def rec(p: int, m: int) -> int:
+            key = (p, m)
+            cached = memo.get(key)
+            if cached is not None:
+                return cached
+            if p == self.true:
+                result = self.apply1(fn_true, m, memo_true)
+            elif p == self.false:
+                result = self.apply1(fn_false, m, memo_false)
+            else:
+                lvl = min(self._level[p], self._level[m])
+                p0, p1 = self._cof(p, lvl)
+                m0, m1 = self._cof(m, lvl)
+                result = self.mk(lvl, rec(p0, m0), rec(p1, m1))
+            memo[key] = result
+            return result
+
+        return rec(pred, root)
+
+    def restrict_eval(self, root: int, assignment: Callable[[int], bool]) -> Any:
+        """Evaluate a diagram under a total assignment of variables.
+
+        ``assignment`` maps a variable level to its boolean value.  Returns
+        the leaf value reached.
+        """
+        n = root
+        while self._level[n] != LEAF_LEVEL:
+            n = self._hi[n] if assignment(self._level[n]) else self._lo[n]
+        return self._leaf_value[n]
+
+    def set_path(self, root: int, bits: list[tuple[int, bool]], value_leaf: int) -> int:
+        """Return a diagram equal to ``root`` except that the single path
+        described by ``bits`` (a list of (level, bit) sorted by level) leads to
+        ``value_leaf``.  Used to implement map ``set`` with a constant key."""
+
+        def rec(n: int, i: int) -> int:
+            if i == len(bits):
+                return value_leaf
+            lvl, bit = bits[i]
+            nl = self._level[n]
+            if nl == lvl:
+                lo, hi = self._lo[n], self._hi[n]
+            elif nl > lvl:  # variable absent: both children are n itself
+                lo, hi = n, n
+            else:
+                raise ValueError("set_path bits must cover all levels above the map's leaves")
+            if bit:
+                return self.mk(lvl, lo, rec(hi, i + 1))
+            return self.mk(lvl, rec(lo, i + 1), hi)
+
+        return rec(root, 0)
+
+    def get_path(self, root: int, bits: dict[int, bool]) -> Any:
+        """Follow a concrete path (level -> bit) and return the leaf value."""
+        n = root
+        while self._level[n] != LEAF_LEVEL:
+            lvl = self._level[n]
+            n = self._hi[n] if bits.get(lvl, False) else self._lo[n]
+        return self._leaf_value[n]
+
+    # ------------------------------------------------------------------
+    # Analysis helpers
+    # ------------------------------------------------------------------
+
+    def leaves(self, root: int) -> list[Any]:
+        """Distinct leaf values reachable from ``root``."""
+        seen: set[int] = set()
+        out: list[Any] = []
+        stack = [root]
+        while stack:
+            n = stack.pop()
+            if n in seen:
+                continue
+            seen.add(n)
+            if self._level[n] == LEAF_LEVEL:
+                out.append(self._leaf_value[n])
+            else:
+                stack.append(self._hi[n])
+                stack.append(self._lo[n])
+        return out
+
+    def sat_count(self, root: int, num_vars: int) -> int:
+        """Number of assignments (over ``num_vars`` variables at levels
+        0..num_vars-1) reaching a leaf with a truthy value."""
+        return self.sat_count_from(root, 0, num_vars)
+
+    def sat_count_from(self, root: int, lvl: int, num_vars: int) -> int:
+        """Like :meth:`sat_count` but over variables ``lvl..num_vars-1``.
+
+        ``root`` must not test any variable below ``lvl``.
+        """
+        memo: dict[int, int] = {}
+
+        def rec(n: int) -> int:
+            """Count over variables strictly below this node's own level."""
+            cached = memo.get(n)
+            if cached is not None:
+                return cached
+            if self._level[n] == LEAF_LEVEL:
+                result = 1 if self._leaf_value[n] else 0
+            else:
+                nl = self._level[n]
+                lo, hi = self._lo[n], self._hi[n]
+                result = (rec(lo) << self._skip(lo, nl, num_vars)) + (
+                    rec(hi) << self._skip(hi, nl, num_vars)
+                )
+            memo[n] = result
+            return result
+
+        top = self._level[root]
+        start = num_vars if top == LEAF_LEVEL else top
+        if start < lvl:
+            raise ValueError("diagram tests variables above the requested range")
+        return rec(root) << (start - lvl)
+
+    def _skip(self, child: int, parent_level: int, num_vars: int) -> int:
+        """Variables skipped between ``parent_level`` and ``child``'s level."""
+        cl = self._level[child]
+        eff = num_vars if cl == LEAF_LEVEL else cl
+        return eff - (parent_level + 1)
+
+    def leaf_groups(self, root: int, num_vars: int,
+                    domain: int | None = None) -> dict[Any, int]:
+        """Map each distinct leaf value to the number of keys reaching it.
+
+        ``domain`` optionally restricts counting to keys satisfying a boolean
+        BDD (e.g. only valid edge encodings).  This realises the paper's
+        observation that MTBDDs dynamically discover failure-equivalence
+        classes: each leaf is one class, and its count is the class size.
+        """
+        if domain is None:
+            domain = self.true
+        memo: dict[tuple[int, int], dict[Any, int]] = {}
+
+        def top(n: int, d: int) -> int:
+            t = min(self._level[n], self._level[d])
+            return num_vars if t == LEAF_LEVEL else t
+
+        def rec(n: int, d: int) -> dict[Any, int]:
+            """Counts over variables ``top(n, d)..num_vars-1``."""
+            if d == self.false:
+                return {}
+            key = (n, d)
+            cached = memo.get(key)
+            if cached is not None:
+                return cached
+            if self._level[n] == LEAF_LEVEL:
+                cnt = self.sat_count_from(d, top(n, d), num_vars)
+                result = {self._leaf_value[n]: cnt} if cnt else {}
+            else:
+                lvl = top(n, d)
+                n0, n1 = self._cof(n, lvl)
+                d0, d1 = self._cof(d, lvl)
+                result = {}
+                for nn, dd in ((n0, d0), (n1, d1)):
+                    sub = rec(nn, dd)
+                    scale = top(nn, dd) - (lvl + 1)
+                    for value, cnt in sub.items():
+                        result[value] = result.get(value, 0) + (cnt << scale)
+            memo[key] = result
+            return result
+
+        base = rec(root, domain)
+        scale = top(root, domain)
+        return {value: cnt << scale for value, cnt in base.items()}
+
+    def any_sat(self, root: int, num_vars: int) -> dict[int, bool] | None:
+        """One satisfying assignment (all ``num_vars`` variables assigned) of
+        a boolean diagram, or None if unsatisfiable."""
+        if root == self.false:
+            return None
+        assignment: dict[int, bool] = {}
+        n = root
+        while self._level[n] != LEAF_LEVEL:
+            lvl = self._level[n]
+            if self._lo[n] != self.false:
+                assignment[lvl] = False
+                n = self._lo[n]
+            else:
+                assignment[lvl] = True
+                n = self._hi[n]
+        if not self._leaf_value[n]:
+            return None
+        for lvl in range(num_vars):
+            assignment.setdefault(lvl, False)
+        return assignment
+
+    def iter_paths(self, root: int, num_vars: int) -> Iterator[tuple[dict[int, bool], Any]]:
+        """Yield (partial assignment, leaf value) for every path in ``root``.
+
+        The assignment only mentions the variables actually tested on the
+        path; unmentioned variables are don't-cares.
+        """
+        path: dict[int, bool] = {}
+
+        def rec(n: int) -> Iterator[tuple[dict[int, bool], Any]]:
+            if self._level[n] == LEAF_LEVEL:
+                yield dict(path), self._leaf_value[n]
+                return
+            lvl = self._level[n]
+            path[lvl] = False
+            yield from rec(self._lo[n])
+            path[lvl] = True
+            yield from rec(self._hi[n])
+            del path[lvl]
+
+        yield from rec(root)
+
+    def clear_caches(self) -> None:
+        """Drop operation memo tables (unique tables are kept)."""
+        self._op_cache.clear()

@@ -1,0 +1,176 @@
+"""Command-line interface: ``python -m repro <command> ...``.
+
+Mirrors the original artifact's ``nv`` binary: point it at an NV source file
+(or a directory of router configurations) and pick an analysis.
+
+    python -m repro simulate network.nv [--native] [--symbolic name=value ...]
+    python -m repro verify network.nv
+    python -m repro fault network.nv [--links N] [--nodes] [--witnesses]
+    python -m repro translate configs_dir/ [--assert-prefix A.B.C.D/L] [-o out.nv]
+
+Symbolic values on the command line use NV literal syntax
+(``--symbolic route=None``, ``--symbolic x=5u8``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Any
+
+from .analysis.fault import fault_tolerance_analysis
+from .analysis.simulation import run_simulation
+from .analysis.verify import verify as smt_verify
+from .eval.interp import Interpreter
+from .eval.maps import MapContext
+from .eval.values import value_repr
+from .lang.errors import NvError
+from .lang.parser import parse_expr, parse_program
+from .lang.typecheck import check_program
+from .protocols import resolve
+from .srp.network import Network
+
+
+def _load_network(path: str) -> Network:
+    source = Path(path).read_text()
+    return Network.from_program(parse_program(source, resolve))
+
+
+def _parse_symbolics(pairs: list[str], net: Network) -> dict[str, Any]:
+    """Evaluate `name=<nv literal>` bindings in the network's context."""
+    out: dict[str, Any] = {}
+    interp = Interpreter(MapContext(net.num_nodes, net.edges))
+    for pair in pairs:
+        if "=" not in pair:
+            raise SystemExit(f"--symbolic expects name=value, got {pair!r}")
+        name, text = pair.split("=", 1)
+        expr = parse_expr(text)
+        from .lang import ast as A
+        program = A.Program([A.DLet("__cli", expr)])
+        check_program(program)
+        out[name] = interp.eval(expr)
+    return out
+
+
+def cmd_simulate(args: argparse.Namespace) -> int:
+    net = _load_network(args.file)
+    symbolics = _parse_symbolics(args.symbolic, net)
+    report = run_simulation(net, symbolics,
+                            backend="native" if args.native else "interp")
+    print(report.summary())
+    if args.show_routes:
+        print(report.solution.pretty(max_nodes=args.max_nodes))
+    if report.violations:
+        print(f"assertion violated at nodes: {report.violations}")
+        return 1
+    return 0
+
+
+def cmd_verify(args: argparse.Namespace) -> int:
+    net = _load_network(args.file)
+    result = smt_verify(net, max_conflicts=args.max_conflicts)
+    print(result.summary())
+    if result.status == "counterexample":
+        for name, value in result.counterexample.items():
+            print(f"  symbolic {name} = {value_repr(value)}")
+        if args.show_routes:
+            for node, attr in sorted(result.node_attrs.items()):
+                print(f"  node {node}: {value_repr(attr)}")
+        return 1
+    return 0 if result.verified else 2
+
+
+def cmd_fault(args: argparse.Namespace) -> int:
+    net = _load_network(args.file)
+    symbolics = _parse_symbolics(args.symbolic, net)
+    drop_body = parse_expr(args.drop) if args.drop else None
+    report = fault_tolerance_analysis(
+        net, symbolics, num_link_failures=args.links,
+        node_failures=args.nodes, with_witnesses=args.witnesses,
+        drop_body=drop_body)
+    print(report.summary())
+    for node, witness in sorted(report.witnesses.items()):
+        print(f"  node {node} violates under failure scenario {witness}")
+    return 0 if report.fault_tolerant else 1
+
+
+def cmd_translate(args: argparse.Namespace) -> int:
+    from .frontend.configs import parse_config
+    from .frontend.to_nv import translate
+
+    directory = Path(args.configs)
+    files = sorted(directory.glob("*.cfg")) + sorted(directory.glob("*.conf"))
+    if not files:
+        raise SystemExit(f"no .cfg/.conf files in {directory}")
+    configs = [parse_config(f.stem, f.read_text()) for f in files]
+    translation = translate(configs, assert_prefix=args.assert_prefix)
+    if args.output:
+        Path(args.output).write_text(translation.source)
+        print(f"wrote {args.output}")
+    else:
+        print(translation.source)
+    print(f"// routers: {translation.node_of}", file=sys.stderr)
+    print(f"// links:   {translation.links}", file=sys.stderr)
+    print(f"// prefixes: {len(translation.prefix_ids)} interned",
+          file=sys.stderr)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="NV control-plane analyses (PLDI 2020 reproduction)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    simulate = sub.add_parser("simulate", help="compute the stable state")
+    simulate.add_argument("file")
+    simulate.add_argument("--native", action="store_true",
+                          help="compile NV to Python first (§5.1)")
+    simulate.add_argument("--symbolic", action="append", default=[],
+                          metavar="NAME=VALUE")
+    simulate.add_argument("--show-routes", action="store_true")
+    simulate.add_argument("--max-nodes", type=int, default=50)
+    simulate.set_defaults(fn=cmd_simulate)
+
+    verify = sub.add_parser("verify", help="SMT verification over all "
+                            "stable states and symbolic values")
+    verify.add_argument("file")
+    verify.add_argument("--max-conflicts", type=int, default=None)
+    verify.add_argument("--show-routes", action="store_true")
+    verify.set_defaults(fn=cmd_verify)
+
+    fault = sub.add_parser("fault", help="fault-tolerance meta-protocol (fig 5)")
+    fault.add_argument("file")
+    fault.add_argument("--links", type=int, default=1,
+                       help="simultaneous link failures (default 1)")
+    fault.add_argument("--nodes", action="store_true",
+                       help="also fail one node per scenario")
+    fault.add_argument("--witnesses", action="store_true")
+    fault.add_argument("--symbolic", action="append", default=[],
+                       metavar="NAME=VALUE")
+    fault.add_argument("--drop", default=None,
+                       help="NV expression for the dropped route (default None)")
+    fault.set_defaults(fn=cmd_fault)
+
+    translate = sub.add_parser("translate",
+                               help="router configs -> NV program (§4)")
+    translate.add_argument("configs", help="directory of .cfg/.conf files")
+    translate.add_argument("--assert-prefix", default=None,
+                           metavar="A.B.C.D/LEN")
+    translate.add_argument("-o", "--output", default=None)
+    translate.set_defaults(fn=cmd_translate)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.fn(args)
+    except NvError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 3
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

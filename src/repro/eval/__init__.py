@@ -1,0 +1,8 @@
+"""NV evaluation: interpreter, MTBDD maps, symbolic predicates, compiler."""
+
+from .interp import Interpreter, program_env
+from .maps import MapContext, NVMap
+from .values import VClosure, VRecord, VSome
+
+__all__ = ["Interpreter", "program_env", "MapContext", "NVMap",
+           "VSome", "VRecord", "VClosure"]

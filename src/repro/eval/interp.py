@@ -1,0 +1,343 @@
+"""The NV interpreter.
+
+Evaluates typed NV expressions to the runtime values of
+:mod:`repro.eval.values`.  The interpreter is the paper's baseline execution
+engine; the compiled path (:mod:`repro.eval.compile_py`) produces host-language
+closures for the same semantics.
+
+Map operations require type annotations on the AST (run
+:func:`repro.lang.typecheck.check_program` first) so that key layouts are
+known; ``mapIte`` key predicates are translated to BDDs by symbolically
+interpreting the predicate closure over the key bits.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from ..lang import ast as A
+from ..lang import types as T
+from ..lang.errors import NvEncodingError, NvRuntimeError
+from .maps import MapContext, NVMap
+from .values import VClosure, VRecord, VSome
+
+
+class Interpreter:
+    def __init__(self, ctx: MapContext | None = None,
+                 enable_cache: bool = True) -> None:
+        self.ctx = ctx if ctx is not None else MapContext()
+        # The paper amortises diagram-operation cost by caching across calls;
+        # `enable_cache=False` turns that off (ablation benchmark).
+        self.enable_cache = enable_cache
+        # Cross-call memo tables for map/combine, keyed by the identity of the
+        # NV closure's AST node — the paper caches diagram operations because
+        # simulation applies the same transfer/merge repeatedly.
+        self._map_memo: dict[Any, dict[int, int]] = {}
+        self._combine_memo: dict[Any, dict[tuple[int, int], int]] = {}
+        self._pred_cache: dict[Any, int] = {}
+        self._free_vars_cache: dict[int, tuple[str, ...]] = {}
+
+    # ------------------------------------------------------------------
+    # Entry points
+    # ------------------------------------------------------------------
+
+    def eval(self, e: A.Expr, env: dict[str, Any] | None = None) -> Any:
+        return self._eval(e, env or {})
+
+    def apply(self, fn: Any, arg: Any) -> Any:
+        """Apply a function value (closure or host callable)."""
+        if isinstance(fn, VClosure):
+            new_env = dict(fn.env)
+            new_env[fn.param] = arg
+            return self._eval(fn.body, new_env)
+        if callable(fn):
+            return fn(arg)
+        raise NvRuntimeError(f"cannot apply non-function value {fn!r}")
+
+    def as_callable(self, fn: Any) -> Callable[[Any], Any]:
+        if isinstance(fn, VClosure):
+            return lambda arg: self.apply(fn, arg)
+        if callable(fn):
+            return fn
+        raise NvRuntimeError(f"cannot apply non-function value {fn!r}")
+
+    # ------------------------------------------------------------------
+    # Core evaluator
+    # ------------------------------------------------------------------
+
+    def _eval(self, e: A.Expr, env: dict[str, Any]) -> Any:
+        if isinstance(e, A.EVar):
+            try:
+                return env[e.name]
+            except KeyError:
+                raise NvRuntimeError(f"unbound variable {e.name!r} at {e.span}") from None
+        if isinstance(e, A.EBool):
+            return e.value
+        if isinstance(e, A.EInt):
+            return e.value & ((1 << e.width) - 1)
+        if isinstance(e, A.ENode):
+            return e.value
+        if isinstance(e, A.EEdge):
+            return (e.src, e.dst)
+        if isinstance(e, A.ENone):
+            return None
+        if isinstance(e, A.ESome):
+            return VSome(self._eval(e.sub, env))
+        if isinstance(e, A.ETuple):
+            return tuple(self._eval(x, env) for x in e.elts)
+        if isinstance(e, A.ETupleGet):
+            return self._eval(e.sub, env)[e.index]
+        if isinstance(e, A.ERecord):
+            return VRecord(tuple((n, self._eval(x, env)) for n, x in e.fields))
+        if isinstance(e, A.ERecordWith):
+            base = self._eval(e.base, env)
+            if not isinstance(base, VRecord):
+                raise NvRuntimeError(f"record update on non-record {base!r}")
+            return base.with_updates({n: self._eval(x, env) for n, x in e.updates})
+        if isinstance(e, A.EProj):
+            base = self._eval(e.sub, env)
+            if not isinstance(base, VRecord):
+                raise NvRuntimeError(f"field access .{e.label} on non-record {base!r}")
+            return base.get(e.label)
+        if isinstance(e, A.EIf):
+            if self._eval(e.cond, env):
+                return self._eval(e.then, env)
+            return self._eval(e.els, env)
+        if isinstance(e, A.ELet):
+            new_env = dict(env)
+            new_env[e.name] = self._eval(e.bound, env)
+            return self._eval(e.body, new_env)
+        if isinstance(e, A.ELetPat):
+            bound = self._eval(e.bound, env)
+            bindings = match_pattern(e.pat, bound)
+            if bindings is None:
+                raise NvRuntimeError(f"irrefutable let pattern failed on {bound!r}")
+            new_env = dict(env)
+            new_env.update(bindings)
+            return self._eval(e.body, new_env)
+        if isinstance(e, A.EFun):
+            return VClosure(e.param, e.body, env, e.param_ty)
+        if isinstance(e, A.EApp):
+            fn = self._eval(e.fn, env)
+            arg = self._eval(e.arg, env)
+            return self.apply(fn, arg)
+        if isinstance(e, A.EMatch):
+            scrutinee = self._eval(e.scrutinee, env)
+            for pat, body in e.branches:
+                bindings = match_pattern(pat, scrutinee)
+                if bindings is not None:
+                    if bindings:
+                        new_env = dict(env)
+                        new_env.update(bindings)
+                        return self._eval(body, new_env)
+                    return self._eval(body, env)
+            raise NvRuntimeError(f"match failure on {scrutinee!r} at {e.span}")
+        if isinstance(e, A.EOp):
+            return self._eval_op(e, env)
+        raise NvRuntimeError(f"cannot evaluate {type(e).__name__}")
+
+    # ------------------------------------------------------------------
+    # Operators
+    # ------------------------------------------------------------------
+
+    def _eval_op(self, e: A.EOp, env: dict[str, Any]) -> Any:
+        op = e.op
+        if op == "and":
+            return self._eval(e.args[0], env) and self._eval(e.args[1], env)
+        if op == "or":
+            return self._eval(e.args[0], env) or self._eval(e.args[1], env)
+        if op == "not":
+            return not self._eval(e.args[0], env)
+        if op == "add" or op == "sub":
+            a = self._eval(e.args[0], env)
+            b = self._eval(e.args[1], env)
+            width = e.ty.width if isinstance(e.ty, T.TInt) else 32
+            if op == "add":
+                return (a + b) & ((1 << width) - 1)
+            return (a - b) & ((1 << width) - 1)
+        if op == "eq":
+            return self._eval(e.args[0], env) == self._eval(e.args[1], env)
+        if op == "lt":
+            return self._eval(e.args[0], env) < self._eval(e.args[1], env)
+        if op == "le":
+            return self._eval(e.args[0], env) <= self._eval(e.args[1], env)
+        if op == "mcreate":
+            default = self._eval(e.args[0], env)
+            key_ty = self._map_key_type(e)
+            return NVMap.create(self.ctx, key_ty, default)
+        if op == "mget":
+            m = self._eval_map(e.args[0], env)
+            key = self._eval(e.args[1], env)
+            return m.get(key)
+        if op == "mset":
+            m = self._eval_map(e.args[0], env)
+            key = self._eval(e.args[1], env)
+            value = self._eval(e.args[2], env)
+            return m.set(key, value)
+        if op == "mmap":
+            fn = self._eval(e.args[0], env)
+            m = self._eval_map(e.args[1], env)
+            return m.map(self.as_callable(fn), self._memo_for(fn, self._map_memo))
+        if op == "mcombine":
+            fn = self._eval(e.args[0], env)
+            m1 = self._eval_map(e.args[1], env)
+            m2 = self._eval_map(e.args[2], env)
+            call = self.as_callable(fn)
+
+            def fn2(x: Any, y: Any) -> Any:
+                return self.apply(call(x), y)
+
+            return m1.combine(fn2, m2, self._memo_for(fn, self._combine_memo))
+        if op == "mmapite":
+            pred = self._eval(e.args[0], env)
+            fn_true = self._eval(e.args[1], env)
+            fn_false = self._eval(e.args[2], env)
+            m = self._eval_map(e.args[3], env)
+            pred_bdd = self.predicate_bdd(pred, m.key_ty)
+            return m.map_ite(pred_bdd, self.as_callable(fn_true),
+                             self.as_callable(fn_false))
+        raise NvRuntimeError(f"unknown operator {op!r}")
+
+    def _eval_map(self, e: A.Expr, env: dict[str, Any]) -> NVMap:
+        m = self._eval(e, env)
+        if not isinstance(m, NVMap):
+            raise NvRuntimeError(f"expected a map, got {m!r}")
+        return m
+
+    def _map_key_type(self, e: A.EOp) -> T.Type:
+        if not isinstance(e.ty, T.TDict):
+            raise NvEncodingError(
+                "createDict requires a type-annotated AST (run the type checker "
+                "before evaluation) so the key layout is known")
+        return e.ty.key
+
+    def _memo_for(self, fn: Any, table: dict[Any, dict]) -> dict:
+        """A stable memo table per *semantic function*, enabling the
+        cross-call caching of diagram operations the paper relies on.
+
+        Two closures compute the same function when they share a body and
+        their captured free-variable values coincide, so the cache key is
+        (body identity, captured values).  Unhashable captures fall back to a
+        fresh per-call memo.
+        """
+        if not self.enable_cache:
+            return {}
+        key = self._closure_key(fn)
+        if key is None:
+            return {}
+        memo = table.get(key)
+        if memo is None:
+            memo = {}
+            table[key] = memo
+        return memo
+
+    def _closure_key(self, fn: Any) -> Any:
+        if not isinstance(fn, VClosure):
+            key_fn = getattr(fn, "nv_cache_key", None)
+            if key_fn is not None:
+                return key_fn() if callable(key_fn) else key_fn
+            return id(fn)
+        body_id = id(fn.body)
+        names = self._free_vars_cache.get(body_id)
+        if names is None:
+            names = tuple(sorted(A.free_vars(fn.body) - {fn.param}))
+            self._free_vars_cache[body_id] = names
+        try:
+            captured = tuple(map(fn.env.__getitem__, names))
+            hash(captured)
+        except (KeyError, TypeError):
+            return None
+        return (body_id, captured)
+
+    # ------------------------------------------------------------------
+    # Key predicates
+    # ------------------------------------------------------------------
+
+    def predicate_bdd(self, pred: Any, key_ty: T.Type) -> int:
+        """Build the BDD of a key predicate closure (fig 11b).
+
+        The closure body is interpreted symbolically over the key's bit
+        variables.  Results are cached per (closure body, captured values)
+        because simulation evaluates the same predicates repeatedly.
+        """
+        from .symbolic import SymbolicEvaluator  # local import to avoid a cycle
+
+        cache_key = self._pred_cache_key(pred, key_ty) if self.enable_cache else None
+        if cache_key is not None:
+            cached = self._pred_cache.get(cache_key)
+            if cached is not None:
+                return cached
+        sym = SymbolicEvaluator(self, self.ctx)
+        result = sym.predicate_to_bdd(pred, key_ty)
+        if cache_key is not None:
+            self._pred_cache[cache_key] = result
+        return result
+
+    def _pred_cache_key(self, pred: Any, key_ty: T.Type) -> Any:
+        closure_key = self._closure_key(pred)
+        if closure_key is None:
+            return None
+        return (closure_key, key_ty)
+
+
+def match_pattern(pat: A.Pattern, value: Any) -> dict[str, Any] | None:
+    """Match ``value`` against ``pat``; return bindings or None on failure."""
+    if isinstance(pat, A.PWild):
+        return {}
+    if isinstance(pat, A.PVar):
+        return {pat.name: value}
+    if isinstance(pat, A.PBool):
+        return {} if value is pat.value or value == pat.value else None
+    if isinstance(pat, A.PInt):
+        return {} if value == pat.value else None
+    if isinstance(pat, A.PNode):
+        return {} if value == pat.value else None
+    if isinstance(pat, A.PNone):
+        return {} if value is None else None
+    if isinstance(pat, A.PSome):
+        if isinstance(value, VSome):
+            return match_pattern(pat.sub, value.value)
+        return None
+    if isinstance(pat, (A.PTuple, A.PEdge)):
+        subs = pat.elts if isinstance(pat, A.PTuple) else (pat.src, pat.dst)
+        if not isinstance(value, tuple) or len(value) != len(subs):
+            return None
+        bindings: dict[str, Any] = {}
+        for p, v in zip(subs, value):
+            sub_bindings = match_pattern(p, v)
+            if sub_bindings is None:
+                return None
+            bindings.update(sub_bindings)
+        return bindings
+    if isinstance(pat, A.PRecord):
+        if not isinstance(value, VRecord):
+            return None
+        bindings = {}
+        for name, p in pat.fields:
+            sub_bindings = match_pattern(p, value.get(name))
+            if sub_bindings is None:
+                return None
+            bindings.update(sub_bindings)
+        return bindings
+    raise NvRuntimeError(f"unsupported pattern {pat}")
+
+
+def program_env(program: A.Program, interp: Interpreter,
+                symbolics: dict[str, Any] | None = None) -> dict[str, Any]:
+    """Evaluate a program's declarations in order, producing a value
+    environment.  ``symbolics`` supplies concrete values for symbolic
+    variables (the normalisation-based analyses require them, §3)."""
+    env: dict[str, Any] = {}
+    symbolics = symbolics or {}
+    for decl in program.decls:
+        if isinstance(decl, A.DSymbolic):
+            if decl.name not in symbolics:
+                raise NvRuntimeError(
+                    f"symbolic {decl.name!r} needs a concrete value for evaluation")
+            env[decl.name] = symbolics[decl.name]
+        elif isinstance(decl, A.DLet):
+            env[decl.name] = interp.eval(decl.expr, env)
+        elif isinstance(decl, A.DRequire):
+            if not interp.eval(decl.expr, env):
+                raise NvRuntimeError("require clause violated by symbolic assignment")
+    return env

@@ -1,0 +1,141 @@
+"""MTBDD-backed total maps: the NV ``dict`` runtime (paper §3.1, §5.1).
+
+An :class:`NVMap` is a total function from a finitary key type to NV values,
+represented as an MTBDD whose decision variables are the key's bits.  All maps
+analysed together share one :class:`MapContext` (one BDD manager), so equal
+map contents are *pointer-equal* — the constant-time equality test that the
+simulator's convergence check relies on.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from ..bdd.manager import BddManager
+from ..lang import types as T
+from ..lang.errors import NvEncodingError
+from .encoding import Encoder
+
+
+class MapContext:
+    """Shared state for all maps of one analysis run: the BDD manager, the
+    key encoder for the network under analysis, and per-type caches."""
+
+    def __init__(self, num_nodes: int = 0,
+                 edges: tuple[tuple[int, int], ...] = ()) -> None:
+        self.manager = BddManager()
+        self.encoder = Encoder(num_nodes, edges)
+        self._domain_cache: dict[T.Type, int] = {}
+
+    def domain(self, key_ty: T.Type) -> int:
+        """Cached validity BDD for a key type."""
+        cached = self._domain_cache.get(key_ty)
+        if cached is None:
+            cached = self.encoder.domain(key_ty, self.manager)
+            self._domain_cache[key_ty] = cached
+        return cached
+
+
+class NVMap:
+    """A total map ``dict[key_ty, _]`` backed by an MTBDD."""
+
+    __slots__ = ("ctx", "key_ty", "root")
+
+    def __init__(self, ctx: MapContext, key_ty: T.Type, root: int) -> None:
+        self.ctx = ctx
+        self.key_ty = key_ty
+        self.root = root
+
+    # ------------------------------------------------------------------
+    # fig 7 operations
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def create(ctx: MapContext, key_ty: T.Type, default: Any) -> "NVMap":
+        """``create : β → dict[α, β]`` — the constant map."""
+        if not key_ty.is_finitary():
+            raise NvEncodingError(f"map key type {key_ty} is not finitary")
+        return NVMap(ctx, key_ty, ctx.manager.leaf(default))
+
+    def get(self, key: Any) -> Any:
+        """``m[k]`` for a concrete key."""
+        bits = self.ctx.encoder.encode(self.key_ty, key)
+        return self.ctx.manager.get_path(self.root, dict(enumerate(bits)))
+
+    def set(self, key: Any, value: Any) -> "NVMap":
+        """``m[k := v]`` for a concrete key."""
+        bits = self.ctx.encoder.encode(self.key_ty, key)
+        leaf = self.ctx.manager.leaf(value)
+        root = self.ctx.manager.set_path(
+            self.root, list(enumerate(bits)), leaf)
+        return NVMap(self.ctx, self.key_ty, root)
+
+    def map(self, fn: Callable[[Any], Any],
+            memo: dict[int, int] | None = None) -> "NVMap":
+        """``map f m`` — applied once per distinct leaf."""
+        return NVMap(self.ctx, self.key_ty,
+                     self.ctx.manager.apply1(fn, self.root, memo))
+
+    def combine(self, fn: Callable[[Any, Any], Any], other: "NVMap",
+                memo: dict[tuple[int, int], int] | None = None) -> "NVMap":
+        """``combine f m1 m2`` — pointwise merge."""
+        self._check_same(other)
+        return NVMap(self.ctx, self.key_ty,
+                     self.ctx.manager.apply2(fn, self.root, other.root, memo))
+
+    def map_ite(self, pred_bdd: int, fn_true: Callable[[Any], Any],
+                fn_false: Callable[[Any], Any]) -> "NVMap":
+        """``mapIte p f g m`` with the key predicate already built as a BDD."""
+        return NVMap(self.ctx, self.key_ty,
+                     self.ctx.manager.map_ite(pred_bdd, fn_true, fn_false, self.root))
+
+    # ------------------------------------------------------------------
+    # Analysis helpers (not NV surface operations)
+    # ------------------------------------------------------------------
+
+    def key_width(self) -> int:
+        return self.ctx.encoder.width(self.key_ty)
+
+    def distinct_values(self) -> list[Any]:
+        """The map's distinct range values — one per MTBDD leaf."""
+        return self.ctx.manager.leaves(self.root)
+
+    def groups(self) -> dict[Any, int]:
+        """Each distinct value with the number of (valid) keys mapping to it.
+
+        This is how the fault-tolerance analysis reports failure-equivalence
+        classes: one MTBDD leaf per behaviour class.
+        """
+        return self.ctx.manager.leaf_groups(
+            self.root, self.key_width(), self.ctx.domain(self.key_ty))
+
+    def to_dict(self) -> dict[Any, Any]:
+        """Materialise the map over all valid keys (small key spaces only)."""
+        out: dict[Any, Any] = {}
+        for key in self.ctx.encoder.enumerate_values(self.key_ty):
+            out[_freeze(key)] = self.get(key)
+        return out
+
+    def node_count(self) -> int:
+        return self.ctx.manager.node_count(self.root)
+
+    def _check_same(self, other: "NVMap") -> None:
+        if self.ctx is not other.ctx:
+            raise NvEncodingError("cannot combine maps from different contexts")
+        if self.key_ty != other.key_ty:
+            raise NvEncodingError(
+                f"cannot combine maps with key types {self.key_ty} and {other.key_ty}")
+
+    def __eq__(self, other: object) -> bool:
+        return (isinstance(other, NVMap) and self.ctx is other.ctx
+                and self.key_ty == other.key_ty and self.root == other.root)
+
+    def __hash__(self) -> int:
+        return hash((id(self.ctx), self.root))
+
+    def __repr__(self) -> str:
+        return f"<NVMap key={self.key_ty} nodes={self.node_count()}>"
+
+
+def _freeze(key: Any) -> Any:
+    return key

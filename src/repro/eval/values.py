@@ -1,0 +1,109 @@
+"""Runtime value model for NV.
+
+NV values map onto Python values as directly as possible (the paper leans on
+NV's "close correspondence" with its host language):
+
+========================  =======================================
+NV type                   Python representation
+========================  =======================================
+``bool``                  ``bool``
+``intN``                  non-negative ``int`` < 2**N
+``node``                  ``int`` (node index)
+``edge``                  ``(int, int)`` tuple
+``option[t]``             ``None`` or :class:`VSome`
+tuples                    ``tuple``
+records                   :class:`VRecord`
+``dict[k, v]``            :class:`repro.eval.maps.NVMap`
+functions                 :class:`VClosure` or a compiled callable
+========================  =======================================
+
+Everything except closures and maps is immutable and hashable, so any
+first-order value can live in an MTBDD leaf.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+
+@dataclass(frozen=True, slots=True)
+class VSome:
+    """A present optional value (``Some v``)."""
+
+    value: Any
+
+    def __repr__(self) -> str:
+        return f"Some({self.value!r})"
+
+
+class VRecord:
+    """An immutable record value with ordered named fields."""
+
+    __slots__ = ("fields", "_hash")
+
+    def __init__(self, fields: tuple[tuple[str, Any], ...]) -> None:
+        object.__setattr__(self, "fields", fields)
+        object.__setattr__(self, "_hash", hash(fields))
+
+    def get(self, name: str) -> Any:
+        for label, value in self.fields:
+            if label == name:
+                return value
+        raise KeyError(f"record has no field {name!r}")
+
+    def with_updates(self, updates: dict[str, Any]) -> "VRecord":
+        return VRecord(tuple(
+            (label, updates.get(label, value)) for label, value in self.fields
+        ))
+
+    def labels(self) -> tuple[str, ...]:
+        return tuple(label for label, _ in self.fields)
+
+    def values(self) -> tuple[Any, ...]:
+        return tuple(value for _, value in self.fields)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, VRecord) and self.fields == other.fields
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __repr__(self) -> str:
+        inner = "; ".join(f"{label}={value!r}" for label, value in self.fields)
+        return "{" + inner + "}"
+
+
+@dataclass(slots=True, eq=False)
+class VClosure:
+    """An interpreter closure: a function value carrying its defining
+    environment.  The AST is retained so back ends (the MTBDD predicate
+    builder, the Python compiler) can re-interpret the body symbolically.
+
+    Closures compare and hash by identity (``eq=False``): top-level closures
+    are created once per program evaluation, so identity is a sound and cheap
+    cache key for the diagram-operation memo tables."""
+
+    param: str
+    body: Any            # repro.lang.ast.Expr
+    env: dict[str, Any]
+    param_ty: Any = None
+
+    def __repr__(self) -> str:
+        return f"<fun {self.param} -> ...>"
+
+
+def value_repr(value: Any) -> str:
+    """Human-readable rendering of an NV value."""
+    if value is None:
+        return "None"
+    if isinstance(value, VSome):
+        return f"Some {value_repr(value.value)}"
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, tuple):
+        return "(" + ", ".join(value_repr(v) for v in value) + ")"
+    if isinstance(value, VRecord):
+        inner = "; ".join(f"{label}={value_repr(v)}" for label, v in value.fields)
+        return "{" + inner + "}"
+    return repr(value)

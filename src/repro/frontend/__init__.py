@@ -1,0 +1,8 @@
+"""Configuration front end (paper §4): Cisco-IOS-style parsing, route-map
+DAG IR with prefix hoisting, and NV emission of the fig 9 RIB model."""
+
+from .configs import Prefix, RouterConfig, infer_topology, parse_config
+from .to_nv import Translation, translate
+
+__all__ = ["parse_config", "RouterConfig", "Prefix", "infer_topology",
+           "translate", "Translation"]

@@ -1,0 +1,12 @@
+"""The NV language front end: syntax, parsing, types (paper §3, fig 6)."""
+
+from .errors import (NvEncodingError, NvError, NvRuntimeError, NvSyntaxError,
+                     NvTransformError, NvTypeError)
+from .parser import parse_expr, parse_program
+from .typecheck import check_network, check_program
+
+__all__ = [
+    "parse_program", "parse_expr", "check_program", "check_network",
+    "NvError", "NvSyntaxError", "NvTypeError", "NvRuntimeError",
+    "NvEncodingError", "NvTransformError",
+]

@@ -1,0 +1,545 @@
+"""Abstract syntax for NV (fig 6 of the paper).
+
+Expressions carry an optional ``ty`` annotation filled in by the type checker;
+back ends rely on it (e.g. for integer wrap widths and map layouts).  The AST
+is deliberately small: options, tuples, records and total maps over a core of
+let/fun/app/if/match, exactly the surface the paper commits to.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from .types import Type
+
+# ---------------------------------------------------------------------------
+# Patterns
+# ---------------------------------------------------------------------------
+
+
+class Pattern:
+    __slots__ = ()
+
+    def bound_vars(self) -> list[str]:
+        raise NotImplementedError
+
+
+@dataclass(slots=True)
+class PWild(Pattern):
+    def bound_vars(self) -> list[str]:
+        return []
+
+    def __str__(self) -> str:
+        return "_"
+
+
+@dataclass(slots=True)
+class PVar(Pattern):
+    name: str
+
+    def bound_vars(self) -> list[str]:
+        return [self.name]
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(slots=True)
+class PBool(Pattern):
+    value: bool
+
+    def bound_vars(self) -> list[str]:
+        return []
+
+    def __str__(self) -> str:
+        return "true" if self.value else "false"
+
+
+@dataclass(slots=True)
+class PInt(Pattern):
+    value: int
+    width: int = 32
+
+    def bound_vars(self) -> list[str]:
+        return []
+
+    def __str__(self) -> str:
+        return str(self.value) if self.width == 32 else f"{self.value}u{self.width}"
+
+
+@dataclass(slots=True)
+class PNode(Pattern):
+    value: int
+
+    def bound_vars(self) -> list[str]:
+        return []
+
+    def __str__(self) -> str:
+        return f"{self.value}n"
+
+
+@dataclass(slots=True)
+class PNone(Pattern):
+    def bound_vars(self) -> list[str]:
+        return []
+
+    def __str__(self) -> str:
+        return "None"
+
+
+@dataclass(slots=True)
+class PSome(Pattern):
+    sub: Pattern
+
+    def bound_vars(self) -> list[str]:
+        return self.sub.bound_vars()
+
+    def __str__(self) -> str:
+        return f"Some {self.sub}"
+
+
+@dataclass(slots=True)
+class PTuple(Pattern):
+    elts: tuple[Pattern, ...]
+
+    def bound_vars(self) -> list[str]:
+        out: list[str] = []
+        for p in self.elts:
+            out.extend(p.bound_vars())
+        return out
+
+    def __str__(self) -> str:
+        return "(" + ", ".join(str(p) for p in self.elts) + ")"
+
+
+@dataclass(slots=True)
+class PRecord(Pattern):
+    fields: tuple[tuple[str, Pattern], ...]
+
+    def bound_vars(self) -> list[str]:
+        out: list[str] = []
+        for _, p in self.fields:
+            out.extend(p.bound_vars())
+        return out
+
+    def __str__(self) -> str:
+        inner = "; ".join(f"{name} = {p}" for name, p in self.fields)
+        return "{" + inner + "}"
+
+
+@dataclass(slots=True)
+class PEdge(Pattern):
+    """Edge destructuring pattern ``u~v`` (also produced by ``let (u,v) = e``
+    when ``e`` is an edge)."""
+
+    src: Pattern
+    dst: Pattern
+
+    def bound_vars(self) -> list[str]:
+        return self.src.bound_vars() + self.dst.bound_vars()
+
+    def __str__(self) -> str:
+        return f"{self.src}~{self.dst}"
+
+
+# ---------------------------------------------------------------------------
+# Expressions
+# ---------------------------------------------------------------------------
+
+
+@dataclass(slots=True)
+class Expr:
+    """Base expression; subclasses add payload fields.
+
+    ``ty`` is filled by the type checker.  ``span`` is a (line, column) pair
+    used for error messages.
+    """
+
+    def children(self) -> Iterator["Expr"]:
+        """Immediate sub-expressions, in evaluation order."""
+        return iter(())
+
+
+def _expr(cls):
+    """Decorator that makes an expression dataclass with shared fields."""
+    return dataclass(slots=True)(cls)
+
+
+@_expr
+class EVar(Expr):
+    name: str
+    ty: Type | None = None
+    span: tuple[int, int] | None = None
+
+
+@_expr
+class EBool(Expr):
+    value: bool
+    ty: Type | None = None
+    span: tuple[int, int] | None = None
+
+
+@_expr
+class EInt(Expr):
+    value: int
+    width: int = 32
+    ty: Type | None = None
+    span: tuple[int, int] | None = None
+
+
+@_expr
+class ENode(Expr):
+    value: int
+    ty: Type | None = None
+    span: tuple[int, int] | None = None
+
+
+@_expr
+class EEdge(Expr):
+    src: int
+    dst: int
+    ty: Type | None = None
+    span: tuple[int, int] | None = None
+
+
+@_expr
+class ENone(Expr):
+    ty: Type | None = None
+    span: tuple[int, int] | None = None
+
+
+@_expr
+class ESome(Expr):
+    sub: Expr
+    ty: Type | None = None
+    span: tuple[int, int] | None = None
+
+    def children(self) -> Iterator[Expr]:
+        yield self.sub
+
+
+@_expr
+class ETuple(Expr):
+    elts: tuple[Expr, ...]
+    ty: Type | None = None
+    span: tuple[int, int] | None = None
+
+    def children(self) -> Iterator[Expr]:
+        yield from self.elts
+
+
+@_expr
+class ETupleGet(Expr):
+    """Positional projection; introduced by transformations, not the parser."""
+
+    sub: Expr
+    index: int
+    arity: int
+    ty: Type | None = None
+    span: tuple[int, int] | None = None
+
+    def children(self) -> Iterator[Expr]:
+        yield self.sub
+
+
+@_expr
+class ERecord(Expr):
+    fields: tuple[tuple[str, Expr], ...]
+    ty: Type | None = None
+    span: tuple[int, int] | None = None
+
+    def children(self) -> Iterator[Expr]:
+        for _, e in self.fields:
+            yield e
+
+
+@_expr
+class ERecordWith(Expr):
+    """Functional record update ``{base with l1 = e1; ...}``."""
+
+    base: Expr
+    updates: tuple[tuple[str, Expr], ...]
+    ty: Type | None = None
+    span: tuple[int, int] | None = None
+
+    def children(self) -> Iterator[Expr]:
+        yield self.base
+        for _, e in self.updates:
+            yield e
+
+
+@_expr
+class EProj(Expr):
+    """Record field projection ``e.label``."""
+
+    sub: Expr
+    label: str
+    ty: Type | None = None
+    span: tuple[int, int] | None = None
+
+    def children(self) -> Iterator[Expr]:
+        yield self.sub
+
+
+@_expr
+class EIf(Expr):
+    cond: Expr
+    then: Expr
+    els: Expr
+    ty: Type | None = None
+    span: tuple[int, int] | None = None
+
+    def children(self) -> Iterator[Expr]:
+        yield self.cond
+        yield self.then
+        yield self.els
+
+
+@_expr
+class ELet(Expr):
+    name: str
+    bound: Expr
+    body: Expr
+    annot: Type | None = None
+    ty: Type | None = None
+    span: tuple[int, int] | None = None
+
+    def children(self) -> Iterator[Expr]:
+        yield self.bound
+        yield self.body
+
+
+@_expr
+class ELetPat(Expr):
+    """Destructuring let ``let (u, v) = e1 in e2`` (sugar over match)."""
+
+    pat: Pattern
+    bound: Expr
+    body: Expr
+    ty: Type | None = None
+    span: tuple[int, int] | None = None
+
+    def children(self) -> Iterator[Expr]:
+        yield self.bound
+        yield self.body
+
+
+@_expr
+class EFun(Expr):
+    param: str
+    body: Expr
+    param_ty: Type | None = None
+    ty: Type | None = None
+    span: tuple[int, int] | None = None
+
+    def children(self) -> Iterator[Expr]:
+        yield self.body
+
+
+@_expr
+class EApp(Expr):
+    fn: Expr
+    arg: Expr
+    ty: Type | None = None
+    span: tuple[int, int] | None = None
+
+    def children(self) -> Iterator[Expr]:
+        yield self.fn
+        yield self.arg
+
+
+@_expr
+class EMatch(Expr):
+    scrutinee: Expr
+    branches: tuple[tuple[Pattern, Expr], ...]
+    ty: Type | None = None
+    span: tuple[int, int] | None = None
+
+    def children(self) -> Iterator[Expr]:
+        yield self.scrutinee
+        for _, e in self.branches:
+            yield e
+
+
+# Builtin operator names.  Arithmetic/comparison operators work on sized ints;
+# map operators implement fig 7 of the paper.
+OPS = {
+    "and": 2, "or": 2, "not": 1,
+    "add": 2, "sub": 2,
+    "eq": 2, "lt": 2, "le": 2,
+    "mcreate": 1,            # create : default -> dict
+    "mget": 2,               # m[k]
+    "mset": 3,               # m[k := v]
+    "mmap": 2,               # map f m
+    "mmapite": 4,            # mapIte pred f g m
+    "mcombine": 3,           # combine f m1 m2
+}
+
+
+@_expr
+class EOp(Expr):
+    op: str
+    args: tuple[Expr, ...]
+    ty: Type | None = None
+    span: tuple[int, int] | None = None
+
+    def __post_init__(self) -> None:
+        arity = OPS.get(self.op)
+        if arity is None:
+            raise ValueError(f"unknown operator {self.op!r}")
+        if arity != len(self.args):
+            raise ValueError(f"operator {self.op!r} expects {arity} args, got {len(self.args)}")
+
+    def children(self) -> Iterator[Expr]:
+        yield from self.args
+
+
+# ---------------------------------------------------------------------------
+# Declarations
+# ---------------------------------------------------------------------------
+
+
+class Decl:
+    __slots__ = ()
+
+
+@dataclass(slots=True)
+class DLet(Decl):
+    name: str
+    expr: Expr
+    annot: Type | None = None
+
+
+@dataclass(slots=True)
+class DSymbolic(Decl):
+    name: str
+    ty: Type
+
+
+@dataclass(slots=True)
+class DRequire(Decl):
+    expr: Expr
+
+
+@dataclass(slots=True)
+class DType(Decl):
+    name: str
+    ty: Type
+
+
+@dataclass(slots=True)
+class DNodes(Decl):
+    count: int
+
+
+@dataclass(slots=True)
+class DEdges(Decl):
+    edges: tuple[tuple[int, int], ...]
+
+
+@dataclass(slots=True)
+class DInclude(Decl):
+    module: str
+
+
+@dataclass(slots=True)
+class Program:
+    """A parsed NV program: an ordered list of declarations."""
+
+    decls: list[Decl] = field(default_factory=list)
+
+    def lets(self) -> dict[str, DLet]:
+        return {d.name: d for d in self.decls if isinstance(d, DLet)}
+
+    def get_let(self, name: str) -> DLet | None:
+        for d in self.decls:
+            if isinstance(d, DLet) and d.name == name:
+                return d
+        return None
+
+    def symbolics(self) -> list[DSymbolic]:
+        return [d for d in self.decls if isinstance(d, DSymbolic)]
+
+    def requires(self) -> list[DRequire]:
+        return [d for d in self.decls if isinstance(d, DRequire)]
+
+    def type_decls(self) -> dict[str, Type]:
+        return {d.name: d.ty for d in self.decls if isinstance(d, DType)}
+
+    @property
+    def nodes(self) -> int:
+        for d in self.decls:
+            if isinstance(d, DNodes):
+                return d.count
+        raise KeyError("program has no `nodes` declaration")
+
+    @property
+    def edges(self) -> tuple[tuple[int, int], ...]:
+        for d in self.decls:
+            if isinstance(d, DEdges):
+                return d.edges
+        raise KeyError("program has no `edges` declaration")
+
+
+# ---------------------------------------------------------------------------
+# Generic traversal helpers used by the transformation passes
+# ---------------------------------------------------------------------------
+
+
+def map_children(e: Expr, fn) -> Expr:
+    """Rebuild ``e`` with ``fn`` applied to each immediate sub-expression.
+
+    Returns a new node; type annotations on the rebuilt node are preserved.
+    """
+    if isinstance(e, ESome):
+        return ESome(fn(e.sub), ty=e.ty, span=e.span)
+    if isinstance(e, ETuple):
+        return ETuple(tuple(fn(x) for x in e.elts), ty=e.ty, span=e.span)
+    if isinstance(e, ETupleGet):
+        return ETupleGet(fn(e.sub), e.index, e.arity, ty=e.ty, span=e.span)
+    if isinstance(e, ERecord):
+        return ERecord(tuple((n, fn(x)) for n, x in e.fields), ty=e.ty, span=e.span)
+    if isinstance(e, ERecordWith):
+        return ERecordWith(fn(e.base), tuple((n, fn(x)) for n, x in e.updates),
+                           ty=e.ty, span=e.span)
+    if isinstance(e, EProj):
+        return EProj(fn(e.sub), e.label, ty=e.ty, span=e.span)
+    if isinstance(e, EIf):
+        return EIf(fn(e.cond), fn(e.then), fn(e.els), ty=e.ty, span=e.span)
+    if isinstance(e, ELet):
+        return ELet(e.name, fn(e.bound), fn(e.body), annot=e.annot, ty=e.ty, span=e.span)
+    if isinstance(e, ELetPat):
+        return ELetPat(e.pat, fn(e.bound), fn(e.body), ty=e.ty, span=e.span)
+    if isinstance(e, EFun):
+        return EFun(e.param, fn(e.body), param_ty=e.param_ty, ty=e.ty, span=e.span)
+    if isinstance(e, EApp):
+        return EApp(fn(e.fn), fn(e.arg), ty=e.ty, span=e.span)
+    if isinstance(e, EMatch):
+        return EMatch(fn(e.scrutinee), tuple((p, fn(x)) for p, x in e.branches),
+                      ty=e.ty, span=e.span)
+    if isinstance(e, EOp):
+        return EOp(e.op, tuple(fn(x) for x in e.args), ty=e.ty, span=e.span)
+    # Leaves: EVar, EBool, EInt, ENode, EEdge, ENone.
+    return e
+
+
+def free_vars(e: Expr) -> set[str]:
+    """Free variables of an expression."""
+    if isinstance(e, EVar):
+        return {e.name}
+    if isinstance(e, ELet):
+        return free_vars(e.bound) | (free_vars(e.body) - {e.name})
+    if isinstance(e, ELetPat):
+        return free_vars(e.bound) | (free_vars(e.body) - set(e.pat.bound_vars()))
+    if isinstance(e, EFun):
+        return free_vars(e.body) - {e.param}
+    if isinstance(e, EMatch):
+        out = free_vars(e.scrutinee)
+        for p, body in e.branches:
+            out |= free_vars(body) - set(p.bound_vars())
+        return out
+    out: set[str] = set()
+    for c in e.children():
+        out |= free_vars(c)
+    return out

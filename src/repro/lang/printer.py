@@ -1,0 +1,142 @@
+"""Pretty printer for NV ASTs.
+
+Produces valid NV surface syntax (round-trips through the parser), which the
+test suite uses as a parser/printer consistency check.
+"""
+
+from __future__ import annotations
+
+from . import ast as A
+from . import types as T
+
+_OP_SYMBOL = {"and": "&&", "or": "||", "eq": "=", "lt": "<", "le": "<=",
+              "add": "+", "sub": "-"}
+
+
+def print_type(ty: T.Type) -> str:
+    return str(ty)
+
+
+def print_pattern(pat: A.Pattern) -> str:
+    return str(pat)
+
+
+def print_expr(e: A.Expr, indent: int = 0) -> str:
+    pad = "  " * indent
+    if isinstance(e, A.EVar):
+        return e.name
+    if isinstance(e, A.EBool):
+        return "true" if e.value else "false"
+    if isinstance(e, A.EInt):
+        return str(e.value) if e.width == 32 else f"{e.value}u{e.width}"
+    if isinstance(e, A.ENode):
+        return f"{e.value}n"
+    if isinstance(e, A.EEdge):
+        return f"({e.src}n, {e.dst}n)"
+    if isinstance(e, A.ENone):
+        return "None"
+    if isinstance(e, A.ESome):
+        return f"Some {_atom(e.sub, indent)}"
+    if isinstance(e, A.ETuple):
+        return "(" + ", ".join(print_expr(x, indent) for x in e.elts) + ")"
+    if isinstance(e, A.ETupleGet):
+        return f"{_atom(e.sub, indent)}.{e.index}"
+    if isinstance(e, A.ERecord):
+        inner = "; ".join(f"{n} = {print_expr(x, indent)}" for n, x in e.fields)
+        return "{" + inner + "}"
+    if isinstance(e, A.ERecordWith):
+        inner = "; ".join(f"{n} = {print_expr(x, indent)}" for n, x in e.updates)
+        return "{" + print_expr(e.base, indent) + " with " + inner + "}"
+    if isinstance(e, A.EProj):
+        return f"{_atom(e.sub, indent)}.{e.label}"
+    if isinstance(e, A.EIf):
+        return (f"if {print_expr(e.cond, indent)} then {print_expr(e.then, indent)} "
+                f"else {print_expr(e.els, indent)}")
+    if isinstance(e, A.ELet):
+        return (f"let {e.name} = {print_expr(e.bound, indent)} in\n{pad}"
+                f"{print_expr(e.body, indent)}")
+    if isinstance(e, A.ELetPat):
+        return (f"let {e.pat} = {print_expr(e.bound, indent)} in\n{pad}"
+                f"{print_expr(e.body, indent)}")
+    if isinstance(e, A.EFun):
+        annot = f" : {e.param_ty}" if e.param_ty is not None else ""
+        if annot:
+            return f"fun ({e.param}{annot}) -> {print_expr(e.body, indent)}"
+        return f"fun {e.param} -> {print_expr(e.body, indent)}"
+    if isinstance(e, A.EApp):
+        return f"{_app_head(e.fn, indent)} {_atom(e.arg, indent)}"
+    if isinstance(e, A.EMatch):
+        lines = [f"match {print_expr(e.scrutinee, indent)} with"]
+        for pat, body in e.branches:
+            lines.append(f"{pad}| {pat} -> {print_expr(body, indent + 1)}")
+        return ("\n").join(lines)
+    if isinstance(e, A.EOp):
+        return _print_op(e, indent)
+    raise TypeError(f"cannot print {type(e).__name__}")
+
+
+def _print_op(e: A.EOp, indent: int) -> str:
+    if e.op == "not":
+        inner = e.args[0]
+        if isinstance(inner, A.EOp) and inner.op == "eq":
+            return (f"{_atom(inner.args[0], indent)} <> {_atom(inner.args[1], indent)}")
+        return f"!{_atom(inner, indent)}"
+    if e.op in _OP_SYMBOL:
+        sym = _OP_SYMBOL[e.op]
+        return f"{_atom(e.args[0], indent)} {sym} {_atom(e.args[1], indent)}"
+    if e.op == "mcreate":
+        return f"createDict {_atom(e.args[0], indent)}"
+    if e.op == "mget":
+        return f"{_atom(e.args[0], indent)}[{print_expr(e.args[1], indent)}]"
+    if e.op == "mset":
+        return (f"{_atom(e.args[0], indent)}[{print_expr(e.args[1], indent)} := "
+                f"{print_expr(e.args[2], indent)}]")
+    if e.op == "mmap":
+        return f"map {_atom(e.args[0], indent)} {_atom(e.args[1], indent)}"
+    if e.op == "mmapite":
+        return ("mapIte " + " ".join(_atom(a, indent) for a in e.args))
+    if e.op == "mcombine":
+        return ("combine " + " ".join(_atom(a, indent) for a in e.args))
+    raise TypeError(f"cannot print operator {e.op!r}")
+
+
+def _atom(e: A.Expr, indent: int) -> str:
+    """Print ``e``, parenthesising anything that isn't atomic."""
+    text = print_expr(e, indent)
+    if isinstance(e, (A.EVar, A.EBool, A.EInt, A.ENode, A.ENone, A.ETuple,
+                      A.ERecord, A.ERecordWith, A.EProj, A.ETupleGet)):
+        return text
+    if isinstance(e, A.EOp) and e.op in ("mget", "mset"):
+        return text
+    return f"({text})"
+
+
+def _app_head(e: A.Expr, indent: int) -> str:
+    text = print_expr(e, indent)
+    if isinstance(e, (A.EVar, A.EApp, A.EProj)):
+        return text
+    return f"({text})"
+
+
+def print_decl(d: A.Decl) -> str:
+    if isinstance(d, A.DLet):
+        annot = f" : {d.annot}" if d.annot is not None else ""
+        return f"let {d.name}{annot} = {print_expr(d.expr, 1)}"
+    if isinstance(d, A.DSymbolic):
+        return f"symbolic {d.name} : {d.ty}"
+    if isinstance(d, A.DRequire):
+        return f"require {print_expr(d.expr)}"
+    if isinstance(d, A.DType):
+        return f"type {d.name} = {d.ty}"
+    if isinstance(d, A.DNodes):
+        return f"let nodes = {d.count}"
+    if isinstance(d, A.DEdges):
+        inner = "; ".join(f"{u}n={v}n" for u, v in d.edges)
+        return "let edges = {" + inner + "}"
+    if isinstance(d, A.DInclude):
+        return f"// include {d.module} (inlined)"
+    raise TypeError(f"cannot print {type(d).__name__}")
+
+
+def print_program(program: A.Program) -> str:
+    return "\n".join(print_decl(d) for d in program.decls) + "\n"

@@ -1,0 +1,35 @@
+"""The eBGP model of paper fig 2a, as NV source.
+
+Routes are optional records of path length, local preference, multi-exit
+discriminator, a community set and the originating node.  The merge function
+implements the BGP decision process restricted to the fields the paper
+models: higher local-pref wins, then shorter path, then lower MED.
+"""
+
+BGP_NV = """
+type bgp = {length:int; lp:int; med:int; comms:set[int]; origin:node}
+
+type attribute = option[bgp]
+
+let transBgp (e: edge) (x: attribute) =
+  match x with
+  | None -> None
+  | Some b -> Some {b with length = b.length + 1}
+
+let isBetter x y =
+  match x, y with
+  | _, None -> true
+  | None, _ -> false
+  | Some b1, Some b2 ->
+    if b1.lp > b2.lp then true
+    else if b2.lp > b1.lp then false
+    else if b1.length < b2.length then true
+    else if b2.length < b1.length then false
+    else if b1.med <= b2.med then true else false
+
+let mergeBgp (u: node) (x y: attribute) =
+  if isBetter x y then x else y
+
+let defaultBgp =
+  Some {length = 0; lp = 100; med = 80; comms = {}; origin = 0n}
+"""

@@ -1,0 +1,40 @@
+"""The fig 2a BGP model with narrow (8-bit) numeric fields.
+
+Semantically identical to :mod:`repro.protocols.bgp` for the benchmark
+networks (fat-tree path lengths and the synthesised policies stay far below
+255); the narrow widths shrink both the MTBDD layouts and the bit-blasted
+SMT encodings.  The paper points to exactly this trade-off as the motivation
+for sized integers (§3): "specifying the number of bits ... enables time and
+space savings".
+
+The SMT benchmarks use this model so the pure-Python CDCL back end can decide
+networks whose 32-bit encodings would be needlessly large.
+"""
+
+BGP_NARROW_NV = """
+type bgp = {length:int8; lp:int8; med:int8; comms:set[int8]; origin:node}
+
+type attribute = option[bgp]
+
+let transBgp (e: edge) (x: attribute) =
+  match x with
+  | None -> None
+  | Some b -> Some {b with length = b.length + 1u8}
+
+let isBetter x y =
+  match x, y with
+  | _, None -> true
+  | None, _ -> false
+  | Some b1, Some b2 ->
+    if b1.lp > b2.lp then true
+    else if b2.lp > b1.lp then false
+    else if b1.length < b2.length then true
+    else if b2.length < b1.length then false
+    else if b1.med <= b2.med then true else false
+
+let mergeBgp (u: node) (x y: attribute) =
+  if isBetter x y then x else y
+
+let defaultBgp =
+  Some {length = 0u8; lp = 100u8; med = 80u8; comms = {}; origin = 0n}
+"""

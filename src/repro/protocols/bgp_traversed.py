@@ -1,0 +1,26 @@
+"""The waypointing model of paper fig 3: BGP routes augmented with the set of
+traversed nodes, enabling assertions like "traffic to d crosses the firewall".
+"""
+
+BGP_TRAVERSED_NV = """
+include bgp
+
+type attributeT = option[(set[node], bgp)]
+
+let transT e (x : attributeT) =
+  let (u, v) = e in
+  match x with
+  | None -> None
+  | Some (s, b) ->
+    (match transBgp e (Some b) with
+     | None -> None
+     | Some b' -> Some (s[u := true], b'))
+
+let mergeT u (x : attributeT) (y : attributeT) =
+  match x, y with
+  | _, None -> x
+  | None, _ -> y
+  | Some (s1, b1), Some (s2, b2) ->
+    let b = mergeBgp u (Some b1) (Some b2) in
+    if b = Some b1 then Some (s1, b1) else Some (s2, b2)
+"""

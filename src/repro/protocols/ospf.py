@@ -1,0 +1,33 @@
+"""An OSPF model: weighted link costs and areas (paper §1 scope).
+
+Intra-area routes are preferred over inter-area ones; ties break on cost.
+The per-edge weight and area assignment are supplied by the generated
+network program (``ospfCost``/``ospfArea`` functions over edges), keeping the
+protocol model itself topology-independent.
+"""
+
+OSPF_NV = """
+type ospf = {cost:int; areaType:int2; originO:node}
+
+type attributeO = option[ospf]
+
+// areaType: 0 = intra-area, 1 = inter-area.
+let transOspf (w : int) sameArea (x : attributeO) =
+  match x with
+  | None -> None
+  | Some r ->
+    if sameArea then Some {r with cost = r.cost + w}
+    else Some {cost = r.cost + w; areaType = 1u2; originO = r.originO}
+
+let isBetterOspf x y =
+  match x, y with
+  | _, None -> true
+  | None, _ -> false
+  | Some r1, Some r2 ->
+    if r1.areaType < r2.areaType then true
+    else if r2.areaType < r1.areaType then false
+    else r1.cost <= r2.cost
+
+let mergeOspf (u : node) (x y : attributeO) =
+  if isBetterOspf x y then x else y
+"""

@@ -1,0 +1,20 @@
+"""A RIP model: plain hop-count routing with the protocol's 16-hop horizon.
+
+Included both as the simplest worked protocol and as the shortest-path
+baseline the evaluation's SP policies reduce to.
+"""
+
+RIP_NV = """
+type rip = option[int8]
+
+let transRip (e : edge) (x : rip) =
+  match x with
+  | None -> None
+  | Some hops -> if hops < 15u8 then Some (hops + 1u8) else None
+
+let mergeRip (u : node) (x : rip) (y : rip) =
+  match x, y with
+  | _, None -> x
+  | None, _ -> y
+  | Some h1, Some h2 -> if h1 <= h2 then x else y
+"""

@@ -1,0 +1,22 @@
+"""Static and connected routes with administrative distances.
+
+Static/connected routes never propagate (their transfer drops); they matter
+through redistribution into dynamic protocols, mirroring the ``redistribute
+static`` stanzas of paper fig 1.
+"""
+
+STATIC_NV = """
+// A static route: administrative distance and the configured next hop.
+type staticR = {ad:int8; nextHop:node}
+
+type attributeS = option[staticR]
+
+// Static routes are local: they are never transferred.
+let transStatic (e : edge) (x : attributeS) = None
+
+let mergeStatic (u : node) (x y : attributeS) =
+  match x, y with
+  | _, None -> x
+  | None, _ -> y
+  | Some r1, Some r2 -> if r1.ad <= r2.ad then x else y
+"""

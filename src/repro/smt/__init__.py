@@ -1,0 +1,8 @@
+"""The SMT substrate: terms, bit-blasting, CDCL SAT, stable-state encoding
+(paper §5.2), replacing the original artifact's Z3 dependency."""
+
+from .sat import SatSolver
+from .solver import SmtResult, Solver
+from .terms import TermManager
+
+__all__ = ["TermManager", "Solver", "SmtResult", "SatSolver"]

@@ -1,0 +1,97 @@
+"""Tseitin transformation: boolean term DAGs to CNF.
+
+Each distinct subterm gets one propositional variable, so sharing in the term
+DAG translates to linear-size CNF.  Literals follow the DIMACS convention:
+variables are positive integers, negation is arithmetic negation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .terms import AND, CONST, ITE, NOT, OR, VAR, XOR, TermManager
+
+
+@dataclass
+class Cnf:
+    num_vars: int = 0
+    clauses: list[tuple[int, ...]] = field(default_factory=list)
+    # term id -> literal, and term-variable name -> SAT variable.
+    term_lit: dict[int, int] = field(default_factory=dict)
+    name_var: dict[str, int] = field(default_factory=dict)
+
+    def new_var(self) -> int:
+        self.num_vars += 1
+        return self.num_vars
+
+    def add(self, *lits: int) -> None:
+        self.clauses.append(tuple(lits))
+
+
+class Tseitin:
+    def __init__(self, tm: TermManager) -> None:
+        self.tm = tm
+        self.cnf = Cnf()
+        # A fixed variable forced true, standing in for constant literals.
+        self._true_var = self.cnf.new_var()
+        self.cnf.add(self._true_var)
+
+    def assert_term(self, t: int) -> None:
+        """Add the unit clause forcing boolean term ``t`` to hold."""
+        self.cnf.add(self.literal(t))
+
+    def literal(self, t: int) -> int:
+        lit = self.cnf.term_lit.get(t)
+        if lit is not None:
+            return lit
+        data = self.tm.data(t)
+        op = data.op
+        cnf = self.cnf
+        if op == CONST:
+            lit = self._true_var if data.payload else -self._true_var
+        elif op == VAR:
+            var = cnf.new_var()
+            cnf.name_var[data.payload] = var
+            lit = var
+        elif op == NOT:
+            lit = -self.literal(data.args[0])
+        elif op == AND:
+            a = self.literal(data.args[0])
+            b = self.literal(data.args[1])
+            v = cnf.new_var()
+            cnf.add(-v, a)
+            cnf.add(-v, b)
+            cnf.add(v, -a, -b)
+            lit = v
+        elif op == OR:
+            a = self.literal(data.args[0])
+            b = self.literal(data.args[1])
+            v = cnf.new_var()
+            cnf.add(v, -a)
+            cnf.add(v, -b)
+            cnf.add(-v, a, b)
+            lit = v
+        elif op == XOR:
+            a = self.literal(data.args[0])
+            b = self.literal(data.args[1])
+            v = cnf.new_var()
+            cnf.add(-v, a, b)
+            cnf.add(-v, -a, -b)
+            cnf.add(v, -a, b)
+            cnf.add(v, a, -b)
+            lit = v
+        elif op == ITE:
+            c = self.literal(data.args[0])
+            a = self.literal(data.args[1])
+            b = self.literal(data.args[2])
+            v = cnf.new_var()
+            cnf.add(-v, -c, a)
+            cnf.add(-v, c, b)
+            cnf.add(v, -c, -a)
+            cnf.add(v, c, -b)
+            lit = v
+        else:
+            raise ValueError(
+                f"operator {op!r} reached CNF conversion; bit-blast first")
+        cnf.term_lit[t] = lit
+        return lit

@@ -1,0 +1,453 @@
+"""A CDCL SAT solver (conflict-driven clause learning).
+
+MiniSat-style architecture: two-watched-literal propagation, first-UIP
+conflict analysis with learnt-clause minimisation and non-chronological
+backjumping, an indexed binary heap over VSIDS activities, phase saving,
+Luby restarts, and LBD-based learnt-clause database reduction.
+
+This is the decision procedure under NV's SMT back end: QF_BV constraints are
+bit-blasted (``bitblast.py``), Tseitin-converted (``cnf.py``) and decided
+here, replacing the Z3 dependency of the original artifact.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+
+class _VarHeap:
+    """Indexed binary max-heap over variable activities (MiniSat's order)."""
+
+    __slots__ = ("heap", "pos", "activity")
+
+    def __init__(self, num_vars: int, activity: list[float]) -> None:
+        self.activity = activity
+        self.heap: list[int] = list(range(1, num_vars + 1))
+        self.pos: list[int] = [-1] * (num_vars + 1)
+        for i, v in enumerate(self.heap):
+            self.pos[v] = i
+
+    def _sift_up(self, i: int) -> None:
+        heap = self.heap
+        pos = self.pos
+        act = self.activity
+        v = heap[i]
+        a = act[v]
+        while i > 0:
+            parent = (i - 1) >> 1
+            pv = heap[parent]
+            if act[pv] >= a:
+                break
+            heap[i] = pv
+            pos[pv] = i
+            i = parent
+        heap[i] = v
+        pos[v] = i
+
+    def _sift_down(self, i: int) -> None:
+        heap = self.heap
+        pos = self.pos
+        act = self.activity
+        n = len(heap)
+        v = heap[i]
+        a = act[v]
+        while True:
+            left = 2 * i + 1
+            if left >= n:
+                break
+            right = left + 1
+            child = right if right < n and act[heap[right]] > act[heap[left]] else left
+            cv = heap[child]
+            if act[cv] <= a:
+                break
+            heap[i] = cv
+            pos[cv] = i
+            i = child
+        heap[i] = v
+        pos[v] = i
+
+    def contains(self, v: int) -> bool:
+        return self.pos[v] >= 0
+
+    def insert(self, v: int) -> None:
+        if self.pos[v] >= 0:
+            return
+        self.heap.append(v)
+        self.pos[v] = len(self.heap) - 1
+        self._sift_up(len(self.heap) - 1)
+
+    def increased(self, v: int) -> None:
+        """Activity of ``v`` increased; restore heap order if present."""
+        i = self.pos[v]
+        if i >= 0:
+            self._sift_up(i)
+
+    def pop(self) -> int:
+        heap = self.heap
+        pos = self.pos
+        top = heap[0]
+        last = heap.pop()
+        pos[top] = -1
+        if heap:
+            heap[0] = last
+            pos[last] = 0
+            self._sift_down(0)
+        return top
+
+    def __len__(self) -> int:
+        return len(self.heap)
+
+
+class SatSolver:
+    def __init__(self, num_vars: int, clauses: Iterable[Sequence[int]]) -> None:
+        self.num_vars = num_vars
+        self.assign = [0] * (num_vars + 1)          # -1 / 0 / +1
+        self.level = [0] * (num_vars + 1)
+        self.reason: list[list[int] | None] = [None] * (num_vars + 1)
+        self.trail: list[int] = []
+        self.trail_lim: list[int] = []
+        self.qhead = 0
+        self.watches: list[list[list[int]]] = [[] for _ in range(2 * (num_vars + 1))]
+        self.activity = [0.0] * (num_vars + 1)
+        self.var_inc = 1.0
+        self.var_decay = 1.0 / 0.95
+        self.phase = [False] * (num_vars + 1)
+        self.order = _VarHeap(num_vars, self.activity)
+        self.ok = True
+        self.conflicts = 0
+        self.decisions = 0
+        self.propagations = 0
+        # Learnt-clause database, with LBD ("glue") per clause identity.
+        self.learnts: list[list[int]] = []
+        self.lbd: dict[int, int] = {}
+        self.max_learnts = 4000
+        for clause in clauses:
+            self.add_clause(clause)
+
+    # ------------------------------------------------------------------
+    # Clause management
+    # ------------------------------------------------------------------
+
+    def add_clause(self, lits: Sequence[int]) -> None:
+        if not self.ok:
+            return
+        seen: set[int] = set()
+        clause: list[int] = []
+        for lit in lits:
+            if -lit in seen:
+                return  # tautology
+            if lit in seen:
+                continue
+            value = self._value(lit)
+            if value == 1 and self.level[abs(lit)] == 0:
+                return  # already satisfied at the root
+            if value == -1 and self.level[abs(lit)] == 0:
+                continue  # root-false literal drops out
+            seen.add(lit)
+            clause.append(lit)
+        if not clause:
+            self.ok = False
+            return
+        if len(clause) == 1:
+            if not self._enqueue(clause[0], None):
+                self.ok = False
+            elif self._propagate() is not None:
+                self.ok = False
+            return
+        self._attach(clause)
+
+    def _attach(self, clause: list[int]) -> None:
+        a, b = clause[0], clause[1]
+        self.watches[((a if a > 0 else -a) << 1) | (a < 0)].append(clause)
+        self.watches[((b if b > 0 else -b) << 1) | (b < 0)].append(clause)
+
+    def _reduce_db(self) -> None:
+        """Drop the worst half of the learnt clauses (highest LBD first).
+        Deleted clauses are emptied in place; propagation skips and unlinks
+        empty clauses lazily."""
+        lbd = self.lbd
+        keep_locked = {id(r) for r in self.reason if r is not None}
+        candidates = [c for c in self.learnts
+                      if c and id(c) not in keep_locked and lbd.get(id(c), 9) > 2]
+        candidates.sort(key=lambda c: lbd.get(id(c), 9), reverse=True)
+        for clause in candidates[:len(candidates) // 2]:
+            lbd.pop(id(clause), None)
+            clause.clear()
+        self.learnts = [c for c in self.learnts if c]
+
+    # ------------------------------------------------------------------
+    # Assignment machinery
+    # ------------------------------------------------------------------
+
+    def _value(self, lit: int) -> int:
+        v = self.assign[lit if lit > 0 else -lit]
+        if v == 0:
+            return 0
+        return v if lit > 0 else -v
+
+    def _enqueue(self, lit: int, reason: list[int] | None) -> bool:
+        var = lit if lit > 0 else -lit
+        v = self.assign[var]
+        if v != 0:
+            return (v == 1) == (lit > 0)
+        self.assign[var] = 1 if lit > 0 else -1
+        self.level[var] = len(self.trail_lim)
+        self.reason[var] = reason
+        self.phase[var] = lit > 0
+        self.trail.append(lit)
+        return True
+
+    def _propagate(self) -> list[int] | None:
+        """Unit propagation; returns a conflicting clause or None."""
+        assign = self.assign
+        level = self.level
+        reason = self.reason
+        trail = self.trail
+        watches = self.watches
+        phase = self.phase
+        current_level = len(self.trail_lim)
+        while self.qhead < len(trail):
+            lit = trail[self.qhead]
+            self.qhead += 1
+            self.propagations += 1
+            neg = -lit
+            nvar = neg if neg > 0 else -neg
+            watchers = watches[(nvar << 1) | (neg < 0)]
+            i = 0
+            j = 0
+            n = len(watchers)
+            while i < n:
+                clause = watchers[i]
+                i += 1
+                if not clause:
+                    continue  # deleted by _reduce_db; unlink lazily
+                if clause[0] == neg:
+                    clause[0] = clause[1]
+                    clause[1] = neg
+                first = clause[0]
+                fvar = first if first > 0 else -first
+                fv = assign[fvar]
+                if fv != 0 and (fv == 1) == (first > 0):
+                    watchers[j] = clause
+                    j += 1
+                    continue
+                found = False
+                for k in range(2, len(clause)):
+                    other = clause[k]
+                    ovar = other if other > 0 else -other
+                    ov = assign[ovar]
+                    if ov == 0 or (ov == 1) == (other > 0):
+                        clause[1] = other
+                        clause[k] = neg
+                        watches[(ovar << 1) | (other < 0)].append(clause)
+                        found = True
+                        break
+                if found:
+                    continue
+                watchers[j] = clause
+                j += 1
+                if fv != 0:
+                    while i < n:
+                        watchers[j] = watchers[i]
+                        j += 1
+                        i += 1
+                    del watchers[j:]
+                    return clause
+                assign[fvar] = 1 if first > 0 else -1
+                level[fvar] = current_level
+                reason[fvar] = clause
+                phase[fvar] = first > 0
+                trail.append(first)
+            del watchers[j:]
+        return None
+
+    # ------------------------------------------------------------------
+    # Conflict analysis (first UIP with minimisation)
+    # ------------------------------------------------------------------
+
+    def _analyze(self, conflict: list[int]) -> tuple[list[int], int]:
+        learnt: list[int] = [0]
+        seen = bytearray(self.num_vars + 1)
+        counter = 0
+        skip_lit = 0
+        reason: list[int] = conflict
+        index = len(self.trail) - 1
+        current_level = len(self.trail_lim)
+        levels = self.level
+
+        while True:
+            for q in reason:
+                if q == skip_lit:
+                    continue
+                var = q if q > 0 else -q
+                if not seen[var] and levels[var] > 0:
+                    seen[var] = 1
+                    self._bump(var)
+                    if levels[var] >= current_level:
+                        counter += 1
+                    else:
+                        learnt.append(q)
+            trail = self.trail
+            while not seen[abs(trail[index])]:
+                index -= 1
+            p = trail[index]
+            index -= 1
+            var = p if p > 0 else -p
+            seen[var] = 0
+            counter -= 1
+            if counter == 0:
+                learnt[0] = -p
+                break
+            reason = self.reason[var] or []
+            skip_lit = p
+
+        # Learnt clause minimisation (self-subsumption against reasons).
+        marked = {abs(q) for q in learnt[1:]}
+        keep = [learnt[0]]
+        for q in learnt[1:]:
+            if not self._redundant(q, marked):
+                keep.append(q)
+        learnt = keep
+
+        if len(learnt) == 1:
+            back_level = 0
+        else:
+            back_level = max(levels[abs(q)] for q in learnt[1:])
+            for k in range(1, len(learnt)):
+                if levels[abs(learnt[k])] == back_level:
+                    learnt[1], learnt[k] = learnt[k], learnt[1]
+                    break
+        return learnt, back_level
+
+    def _redundant(self, lit: int, marked: set[int]) -> bool:
+        reason = self.reason[abs(lit)]
+        if reason is None:
+            return False
+        for q in reason:
+            var = abs(q)
+            if var == abs(lit) or self.level[var] == 0:
+                continue
+            if var not in marked:
+                return False
+        return True
+
+    def _clause_lbd(self, clause: list[int]) -> int:
+        return len({self.level[abs(q)] for q in clause})
+
+    def _bump(self, var: int) -> None:
+        act = self.activity[var] + self.var_inc
+        self.activity[var] = act
+        if act > 1e100:
+            for v in range(1, self.num_vars + 1):
+                self.activity[v] *= 1e-100
+            self.var_inc *= 1e-100
+            # Heap order is preserved under uniform rescaling.
+        else:
+            self.order.increased(var)
+
+    def _backjump(self, back_level: int) -> None:
+        if back_level >= len(self.trail_lim):
+            return
+        cut = self.trail_lim[back_level]
+        assign = self.assign
+        reason = self.reason
+        order = self.order
+        for lit in self.trail[cut:]:
+            var = lit if lit > 0 else -lit
+            assign[var] = 0
+            reason[var] = None
+            order.insert(var)
+        del self.trail[cut:]
+        del self.trail_lim[back_level:]
+        self.qhead = len(self.trail)
+
+    # ------------------------------------------------------------------
+    # Decisions
+    # ------------------------------------------------------------------
+
+    def _decide(self) -> int:
+        order = self.order
+        assign = self.assign
+        while len(order):
+            var = order.pop()
+            if assign[var] == 0:
+                return var if self.phase[var] else -var
+        return 0
+
+    # ------------------------------------------------------------------
+    # Main loop
+    # ------------------------------------------------------------------
+
+    def solve(self, max_conflicts: int | None = None) -> bool | None:
+        """Returns True (sat), False (unsat), or None on conflict budget."""
+        if not self.ok:
+            return False
+        if self._propagate() is not None:
+            self.ok = False
+            return False
+        restart_idx = 0
+        while True:
+            budget = 100 * _luby(restart_idx)
+            restart_idx += 1
+            result = self._search(budget, max_conflicts)
+            if result is not None:
+                return result
+            if max_conflicts is not None and self.conflicts >= max_conflicts:
+                return None
+            self._backjump(0)
+
+    def _search(self, budget: int, max_conflicts: int | None) -> bool | None:
+        local_conflicts = 0
+        while True:
+            conflict = self._propagate()
+            if conflict is not None:
+                self.conflicts += 1
+                local_conflicts += 1
+                if len(self.trail_lim) == 0:
+                    self.ok = False
+                    return False
+                learnt, back_level = self._analyze(conflict)
+                self._backjump(back_level)
+                if len(learnt) == 1:
+                    if not self._enqueue(learnt[0], None):
+                        self.ok = False
+                        return False
+                else:
+                    self._attach(learnt)
+                    self.learnts.append(learnt)
+                    self.lbd[id(learnt)] = self._clause_lbd(learnt)
+                    if not self._enqueue(learnt[0], learnt):
+                        self.ok = False
+                        return False
+                self.var_inc *= self.var_decay
+                if len(self.learnts) > self.max_learnts:
+                    self._reduce_db()
+                    self.max_learnts += self.max_learnts // 4
+                if max_conflicts is not None and self.conflicts >= max_conflicts:
+                    return None
+                if local_conflicts >= budget:
+                    return None  # restart
+            else:
+                lit = self._decide()
+                if lit == 0:
+                    return True
+                self.decisions += 1
+                self.trail_lim.append(len(self.trail))
+                self._enqueue(lit, None)
+
+    # ------------------------------------------------------------------
+    # Model access
+    # ------------------------------------------------------------------
+
+    def model_value(self, var: int) -> bool:
+        return self.assign[var] == 1
+
+
+def _luby(i: int) -> int:
+    """The Luby restart sequence 1,1,2,1,1,2,4,1,1,2,... (0-indexed)."""
+    x = i + 1
+    while True:
+        k = x.bit_length()
+        if x == (1 << k) - 1:
+            return 1 << (k - 1)
+        x = x - (1 << (k - 1)) + 1

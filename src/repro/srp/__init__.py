@@ -1,0 +1,8 @@
+"""The stable routing problem: network model and simulator (paper §2.5, alg 1)."""
+
+from .network import Network, NetworkFunctions, functions_from_program
+from .simulate import is_stable, simulate
+from .solution import Solution
+
+__all__ = ["Network", "NetworkFunctions", "functions_from_program",
+           "simulate", "is_stable", "Solution"]

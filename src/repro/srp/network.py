@@ -1,0 +1,117 @@
+"""The stable routing problem (SRP) network model.
+
+A network (paper fig 8) is a graph plus the ``init``/``trans``/``merge``
+(and optional ``assert``) functions.  :class:`Network` keeps the NV program
+form; :class:`NetworkFunctions` is the executable form consumed by the
+simulator, with the functions uncurried into plain Python callables.
+
+Topology convention: the ``edges`` declaration lists physical links once
+(``{0n=1n; ...}``); routing messages flow both ways, so the directed edge set
+contains both orientations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from ..eval.interp import Interpreter, program_env
+from ..eval.maps import MapContext
+from ..lang import ast as A
+from ..lang import types as T
+from ..lang.errors import NvError
+from ..lang.typecheck import check_network
+
+
+@dataclass
+class Network:
+    """A verification problem: topology + protocol functions + property."""
+
+    program: A.Program
+    num_nodes: int
+    edges: tuple[tuple[int, int], ...]          # directed
+    attr_ty: T.Type
+    links: tuple[tuple[int, int], ...] = ()     # undirected physical links
+
+    @staticmethod
+    def from_program(program: A.Program) -> "Network":
+        """Type check a program and extract its network structure."""
+        attr_ty = check_network(program)
+        num_nodes = program.nodes
+        links = program.edges
+        directed: list[tuple[int, int]] = []
+        seen: set[tuple[int, int]] = set()
+        for u, v in links:
+            if not (0 <= u < num_nodes and 0 <= v < num_nodes):
+                raise NvError(f"edge ({u}, {v}) out of range for {num_nodes} nodes")
+            for edge in ((u, v), (v, u)):
+                if edge not in seen:
+                    seen.add(edge)
+                    directed.append(edge)
+        return Network(program, num_nodes, tuple(directed), attr_ty, tuple(links))
+
+    def neighbors_in(self) -> list[list[tuple[int, int]]]:
+        """For each node, the directed edges arriving at it."""
+        inc: list[list[tuple[int, int]]] = [[] for _ in range(self.num_nodes)]
+        for u, v in self.edges:
+            inc[v].append((u, v))
+        return inc
+
+    def neighbors_out(self) -> list[list[tuple[int, int]]]:
+        """For each node, the directed edges leaving it."""
+        out: list[list[tuple[int, int]]] = [[] for _ in range(self.num_nodes)]
+        for u, v in self.edges:
+            out[u].append((u, v))
+        return out
+
+
+@dataclass
+class NetworkFunctions:
+    """Executable form of a network's protocol: uncurried host callables."""
+
+    num_nodes: int
+    edges: tuple[tuple[int, int], ...]
+    init: Callable[[int], Any]
+    trans: Callable[[tuple[int, int], Any], Any]
+    merge: Callable[[int, Any, Any], Any]
+    assert_fn: Callable[[int, Any], bool] | None = None
+    ctx: MapContext | None = None
+    attr_ty: T.Type | None = None
+
+
+def functions_from_program(net: Network,
+                           symbolics: dict[str, Any] | None = None,
+                           ctx: MapContext | None = None,
+                           interp: Interpreter | None = None) -> NetworkFunctions:
+    """Build interpreter-backed callables for a network.
+
+    ``symbolics`` provides the concrete values required by normalisation-based
+    analyses (paper §3): simulation fixes each symbolic to a concrete value.
+    """
+    if ctx is None:
+        ctx = MapContext(net.num_nodes, net.edges)
+    if interp is None:
+        interp = Interpreter(ctx)
+    env = program_env(net.program, interp, symbolics)
+
+    init_v = env["init"]
+    trans_v = env["trans"]
+    merge_v = env["merge"]
+    assert_v = env.get("assert")
+
+    def init(u: int) -> Any:
+        return interp.apply(init_v, u)
+
+    def trans(edge: tuple[int, int], x: Any) -> Any:
+        return interp.apply(interp.apply(trans_v, edge), x)
+
+    def merge(u: int, x: Any, y: Any) -> Any:
+        return interp.apply(interp.apply(interp.apply(merge_v, u), x), y)
+
+    assert_fn = None
+    if assert_v is not None:
+        def assert_fn(u: int, x: Any) -> bool:  # noqa: F811
+            return bool(interp.apply(interp.apply(assert_v, u), x))
+
+    return NetworkFunctions(net.num_nodes, net.edges, init, trans, merge,
+                            assert_fn, ctx, net.attr_ty)

@@ -1,0 +1,36 @@
+"""Solutions (stable states) of a routing problem."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from ..eval.values import value_repr
+
+
+@dataclass
+class Solution:
+    """A stable labelling ``L`` of the network (paper §2.5), plus run stats."""
+
+    labels: list[Any]
+    iterations: int = 0
+    messages: int = 0
+
+    def label(self, node: int) -> Any:
+        return self.labels[node]
+
+    def check_assertions(self, assert_fn: Callable[[int, Any], bool] | None
+                         ) -> list[int]:
+        """Nodes whose converged attribute violates the assertion."""
+        if assert_fn is None:
+            return []
+        return [u for u, attr in enumerate(self.labels) if not assert_fn(u, attr)]
+
+    def pretty(self, max_nodes: int | None = None) -> str:
+        lines = []
+        for u, attr in enumerate(self.labels):
+            if max_nodes is not None and u >= max_nodes:
+                lines.append(f"... ({len(self.labels) - max_nodes} more)")
+                break
+            lines.append(f"node {u}: {value_repr(attr)}")
+        return "\n".join(lines)

@@ -1,0 +1,10 @@
+"""Topology generators for the evaluation's networks (paper section 6.1)."""
+
+from .fattree import all_prefixes_program, fat_program, fattree, leaf_nodes, sp_program
+from .graph import Topology
+from .zoo import uscarrier_like, wan_program
+
+__all__ = [
+    "Topology", "fattree", "sp_program", "fat_program", "all_prefixes_program",
+    "leaf_nodes", "uscarrier_like", "wan_program",
+]

@@ -1,0 +1,209 @@
+"""FatTree topologies and the SP / FAT routing policies of the evaluation.
+
+A k-ary fat-tree (paper §6.1, citing Al-Fares et al.) has k pods, each with
+k/2 edge (ToR) switches and k/2 aggregation switches, plus (k/2)² core
+switches: (5/4)k² nodes and k³/2 physical links (k³ directed edges), matching
+the sizes reported in the paper's figures.
+
+Node numbering: edge switches come first (pod by pod), then aggregation
+switches (pod by pod), then core switches.  This layout lets the generated NV
+programs compute a node's layer with two comparisons.
+
+Two policies from §6.1:
+
+* ``SP`` — plain shortest-path eBGP (fig 2a's model).
+* ``FAT`` — shortest-path plus valley-routing protection: routes are tagged
+  with a community when propagated *downward*, and dropped when a tagged
+  route tries to travel *upward* again.
+"""
+
+from __future__ import annotations
+
+from .graph import Topology
+
+
+def fattree(k: int) -> Topology:
+    """Build the k-ary fat-tree (k must be even and >= 2)."""
+    if k < 2 or k % 2:
+        raise ValueError(f"fat-tree arity must be even and >= 2, got {k}")
+    half = k // 2
+    num_edge = k * half
+    num_agg = k * half
+    num_core = half * half
+    total = num_edge + num_agg + num_core
+
+    def edge_sw(pod: int, i: int) -> int:
+        return pod * half + i
+
+    def agg_sw(pod: int, i: int) -> int:
+        return num_edge + pod * half + i
+
+    def core_sw(i: int, j: int) -> int:
+        return num_edge + num_agg + i * half + j
+
+    links: list[tuple[int, int]] = []
+    roles: dict[int, str] = {}
+    for pod in range(k):
+        for i in range(half):
+            roles[edge_sw(pod, i)] = "edge"
+            roles[agg_sw(pod, i)] = "agg"
+            # Full bipartite edge-agg mesh inside the pod.
+            for j in range(half):
+                links.append((edge_sw(pod, i), agg_sw(pod, j)))
+    for i in range(half):
+        for j in range(half):
+            core = core_sw(i, j)
+            roles[core] = "core"
+            # Core (i, j) connects to aggregation switch i of every pod.
+            for pod in range(k):
+                links.append((agg_sw(pod, i), core))
+
+    topo = Topology(total, links, name=f"fattree{k}", roles=roles)
+    assert topo.num_nodes == (5 * k * k) // 4
+    assert topo.num_links == (k ** 3) // 2
+    return topo
+
+
+def layer_bounds(k: int) -> tuple[int, int]:
+    """(first aggregation node, first core node) for the numbering above."""
+    half = k // 2
+    num_edge = k * half
+    return num_edge, num_edge + k * half
+
+
+def sp_program(k: int, dest: int | None = None, narrow: bool = False) -> str:
+    """NV source for single-prefix shortest-path eBGP on FatTree(k) —
+    the SP(k) benchmark.  ``dest`` defaults to edge switch 0.  ``narrow``
+    selects the int8 BGP model (used by the SMT benchmarks; see
+    :mod:`repro.protocols.bgp_narrow`)."""
+    topo = fattree(k)
+    if dest is None:
+        dest = 0
+    module = "bgpNarrow" if narrow else "bgp"
+    sfx = "u8" if narrow else ""
+    return f"""
+include {module}
+{topo.nodes_decl()}
+{topo.edges_decl()}
+
+let trans e x = transBgp e x
+let merge u x y = mergeBgp u x y
+
+let init (u : node) =
+  if u = {dest}n then
+    Some {{length = 0{sfx}; lp = 100{sfx}; med = 80{sfx}; comms = {{}}; origin = {dest}n}}
+  else None
+
+let assert (u : node) (x : attribute) =
+  match x with
+  | None -> false
+  | Some b -> b.origin = {dest}n
+"""
+
+
+def fat_program(k: int, dest: int | None = None, narrow: bool = False) -> str:
+    """NV source for the FAT(k) benchmark: eBGP with community tagging and
+    filtering that forbids valley routing (§6.1)."""
+    topo = fattree(k)
+    agg0, core0 = layer_bounds(k)
+    if dest is None:
+        dest = 0
+    module = "bgpNarrow" if narrow else "bgp"
+    sfx = "u8" if narrow else ""
+    return f"""
+include {module}
+{topo.nodes_decl()}
+{topo.edges_decl()}
+
+let layer (u : node) =
+  if u < {agg0}n then 0 else if u < {core0}n then 1 else 2
+
+// Transfer with valley protection: tag on the way down, drop tagged
+// routes that try to go back up (community 1 = "has travelled down").
+let trans (e : edge) (x : attribute) =
+  let (u, v) = e in
+  match transBgp e x with
+  | None -> None
+  | Some b ->
+    if layer v < layer u then Some {{b with comms = b.comms[1{sfx} := true]}}
+    else if b.comms[1{sfx}] then None
+    else Some b
+
+let merge u x y = mergeBgp u x y
+
+let init (u : node) =
+  if u = {dest}n then
+    Some {{length = 0{sfx}; lp = 100{sfx}; med = 80{sfx}; comms = {{}}; origin = {dest}n}}
+  else None
+
+let assert (u : node) (x : attribute) =
+  match x with
+  | None -> false
+  | Some b -> b.origin = {dest}n
+"""
+
+
+def leaf_nodes(k: int) -> list[int]:
+    """The edge-switch (ToR) nodes — one announced prefix each in the
+    all-prefixes benchmarks."""
+    half = k // 2
+    return list(range(k * half))
+
+
+def all_prefixes_program(k: int, policy: str = "sp",
+                         prefix_width: int = 16) -> str:
+    """NV source for the all-prefixes routing problem on FatTree(k).
+
+    Every edge switch announces one prefix; the attribute is a total map from
+    prefix id to a BGP route, processed in bulk (§6.4 / fig 14).  ``policy``
+    is ``"sp"`` or ``"fat"``.
+    """
+    topo = fattree(k)
+    agg0, core0 = layer_bounds(k)
+    leaves = leaf_nodes(k)
+
+    init_branches = "\n".join(
+        f"  | {u}n -> empty[{u}u{prefix_width} := "
+        f"Some {{length = 0; lp = 100; med = 80; comms = {{}}; origin = {u}n}}]"
+        for u in leaves
+    )
+
+    if policy == "sp":
+        per_route = "transBgp e x"
+    elif policy == "fat":
+        per_route = """
+      let (u, v) = e in
+      match transBgp e x with
+      | None -> None
+      | Some b ->
+        if layer v < layer u then Some {b with comms = b.comms[1 := true]}
+        else if b.comms[1] then None
+        else Some b"""
+    else:
+        raise ValueError(f"unknown policy {policy!r}")
+
+    layer_decl = "" if policy == "sp" else f"""
+let layer (u : node) =
+  if u < {agg0}n then 0 else if u < {core0}n then 1 else 2
+"""
+
+    return f"""
+include bgp
+type rib = dict[int{prefix_width}, attribute]
+{topo.nodes_decl()}
+{topo.edges_decl()}
+{layer_decl}
+let transRoute (e : edge) (x : attribute) = {per_route}
+
+let trans (e : edge) (m : rib) = map (transRoute e) m
+
+let merge (u : node) (m1 : rib) (m2 : rib) = combine (mergeBgp u) m1 m2
+
+let init (u : node) =
+  let empty = createDict None in
+  match u with
+{init_branches}
+  | _ -> empty
+
+let assert (u : node) (m : rib) = true
+"""

@@ -1,0 +1,68 @@
+"""Topology representation shared by the generators."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Topology:
+    """An undirected multigraph-free topology with optional node metadata."""
+
+    num_nodes: int
+    links: list[tuple[int, int]]
+    name: str = "topology"
+    # Optional role labels (e.g. "edge"/"agg"/"core" in fat-trees).
+    roles: dict[int, str] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        seen: set[tuple[int, int]] = set()
+        for u, v in self.links:
+            if u == v:
+                raise ValueError(f"self loop at node {u}")
+            if not (0 <= u < self.num_nodes and 0 <= v < self.num_nodes):
+                raise ValueError(f"link ({u}, {v}) out of range")
+            key = (min(u, v), max(u, v))
+            if key in seen:
+                raise ValueError(f"duplicate link ({u}, {v})")
+            seen.add(key)
+
+    @property
+    def num_links(self) -> int:
+        return len(self.links)
+
+    def directed_edges(self) -> list[tuple[int, int]]:
+        out: list[tuple[int, int]] = []
+        for u, v in self.links:
+            out.append((u, v))
+            out.append((v, u))
+        return out
+
+    def adjacency(self) -> list[list[int]]:
+        adj: list[list[int]] = [[] for _ in range(self.num_nodes)]
+        for u, v in self.links:
+            adj[u].append(v)
+            adj[v].append(u)
+        return adj
+
+    def is_connected(self) -> bool:
+        if self.num_nodes == 0:
+            return True
+        adj = self.adjacency()
+        seen = {0}
+        stack = [0]
+        while stack:
+            u = stack.pop()
+            for v in adj[u]:
+                if v not in seen:
+                    seen.add(v)
+                    stack.append(v)
+        return len(seen) == self.num_nodes
+
+    def edges_decl(self) -> str:
+        """The NV ``let edges = {...}`` declaration for this topology."""
+        inner = "; ".join(f"{u}n={v}n" for u, v in self.links)
+        return "let edges = {" + inner + "}"
+
+    def nodes_decl(self) -> str:
+        return f"let nodes = {self.num_nodes}"

@@ -1,0 +1,137 @@
+"""A deterministic USCarrier-like wide-area topology (paper §6.1).
+
+The paper's USCarrier network comes from the Topology Zoo (174 nodes, 410
+links) with a policy synthesised by NetComplete.  The dataset is not shipped
+here, so we generate a structurally similar stand-in: a sparse, *asymmetric*
+carrier backbone — a chain of regional rings with inter-region trunks and a
+scattering of chords — built from a deterministic linear-congruential
+generator so every run sees the same graph.
+
+What matters for fig 13b is asymmetry: unlike fat-trees, a carrier WAN has
+little redundancy, so different link failures produce genuinely different
+routing outcomes and MTBDD leaf-sharing degrades as the failure budget grows.
+The generator deliberately avoids symmetric constructions for this reason.
+"""
+
+from __future__ import annotations
+
+from .graph import Topology
+
+
+class _Lcg:
+    """Tiny deterministic RNG (``Math.random`` is banned in analyses that
+    must replay; a fixed LCG keeps topologies reproducible)."""
+
+    def __init__(self, seed: int) -> None:
+        self.state = seed & 0xFFFFFFFF
+
+    def next(self, bound: int) -> int:
+        self.state = (1103515245 * self.state + 12345) & 0x7FFFFFFF
+        return self.state % bound
+
+
+def uscarrier_like(num_nodes: int = 174, num_links: int = 410,
+                   seed: int = 20200615) -> Topology:
+    """Build the USCarrier stand-in (defaults match the paper's sizes)."""
+    if num_nodes < 8:
+        raise ValueError("carrier topology needs at least 8 nodes")
+    rng = _Lcg(seed)
+    links: set[tuple[int, int]] = set()
+
+    def add(u: int, v: int) -> bool:
+        if u == v:
+            return False
+        key = (min(u, v), max(u, v))
+        if key in links:
+            return False
+        links.add(key)
+        return True
+
+    # Regional rings of irregular size (7..16 nodes), chained by trunks.
+    regions: list[list[int]] = []
+    node = 0
+    while node < num_nodes:
+        size = 7 + rng.next(10)
+        region = list(range(node, min(node + size, num_nodes)))
+        regions.append(region)
+        node += size
+    for region in regions:
+        for i in range(len(region)):
+            if len(region) > 2:
+                add(region[i], region[(i + 1) % len(region)])
+            elif i + 1 < len(region):
+                add(region[i], region[i + 1])
+    # Trunks between consecutive regions (two parallel attachment points
+    # for some pairs, one for others — uneven redundancy).
+    for a, b in zip(regions, regions[1:]):
+        add(a[rng.next(len(a))], b[rng.next(len(b))])
+        if rng.next(3):  # ~2/3 of region pairs get a second trunk
+            add(a[rng.next(len(a))], b[rng.next(len(b))])
+    # Close the backbone into a loose national loop.
+    add(regions[-1][rng.next(len(regions[-1]))], regions[0][rng.next(len(regions[0]))])
+
+    # Random chords up to the link budget.
+    guard = 0
+    while len(links) < num_links and guard < 50 * num_links:
+        guard += 1
+        add(rng.next(num_nodes), rng.next(num_nodes))
+
+    topo = Topology(num_nodes, sorted(links), name="uscarrier-like")
+    if not topo.is_connected():
+        raise AssertionError("generated carrier topology is not connected")
+    return topo
+
+
+def wan_program(topo: Topology, dest: int = 0) -> str:
+    """NV source for a NetComplete-flavoured eBGP policy on a WAN.
+
+    The synthesised policy biases path selection away from shortest paths on
+    part of the graph: a third of the nodes prefer routes arriving on their
+    lowest-numbered neighbour link (modelled by raising local-pref on entry),
+    which is the kind of asymmetric preference NetComplete synthesises to
+    satisfy traffic-engineering constraints.
+    """
+    # Deterministically pick preferred (node, neighbor) pairs.
+    adj: dict[int, list[int]] = {u: [] for u in range(topo.num_nodes)}
+    for u, v in topo.links:
+        adj[u].append(v)
+        adj[v].append(u)
+    prefer_lines = []
+    for u in range(0, topo.num_nodes, 3):
+        neighbors = sorted(adj[u])
+        if neighbors:
+            v = neighbors[0]
+            prefer_lines.append(
+                f"    else if u = {v}n && v = {u}n then Some {{b with med = 10}}")
+    prefer = "\n".join(prefer_lines)
+
+    return f"""
+include bgp
+{topo.nodes_decl()}
+{topo.edges_decl()}
+
+// NetComplete-style synthesised preferences: selected ingress links get a
+// preferential (lower) multi-exit discriminator, steering tie-breaks off the
+// default paths.  MED-only tweaks keep the algebra strictly monotone in path
+// length, so convergence is guaranteed while routing is still asymmetric.
+let trans (e : edge) (x : attribute) =
+  let (u, v) = e in
+  match transBgp e x with
+  | None -> None
+  | Some b ->
+    if false then None
+{prefer}
+    else Some b
+
+let merge u x y = mergeBgp u x y
+
+let init (u : node) =
+  if u = {dest}n then
+    Some {{length = 0; lp = 100; med = 80; comms = {{}}; origin = {dest}n}}
+  else None
+
+let assert (u : node) (x : attribute) =
+  match x with
+  | None -> false
+  | Some b -> b.origin = {dest}n
+"""

@@ -1,0 +1,11 @@
+"""NV-to-NV transformations (paper §5.2 pipeline + the fig 5 meta-protocol)."""
+
+from .fault_tolerance import fault_tolerance_transform, symbolic_failures_program
+from .inline import inline_program
+from .partial_eval import partial_eval, partial_eval_program
+from .pipeline import lower_program
+from .rename import rename_program
+
+__all__ = ["inline_program", "partial_eval", "partial_eval_program",
+           "rename_program", "lower_program", "fault_tolerance_transform",
+           "symbolic_failures_program"]

@@ -1,0 +1,99 @@
+"""Function inlining.
+
+The SMT pipeline inlines all functions before encoding (paper §5.2); the
+simulator benefits too when policy functions are small.  NV has no recursion,
+so inlining terminates.  Top-level definitions are substituted into later
+declarations; beta-redexes ``(fun x -> e) a`` become let-bindings, which the
+partial evaluator then simplifies.
+"""
+
+from __future__ import annotations
+
+from ..lang import ast as A
+from ..lang.errors import NvTransformError
+from .rename import Renamer
+
+
+def substitute(e: A.Expr, env: dict[str, A.Expr]) -> A.Expr:
+    """Capture-avoiding substitution (assumes alpha-renamed input, so bound
+    names never collide with the substitution's domain or free variables)."""
+    if not env:
+        return e
+    if isinstance(e, A.EVar):
+        replacement = env.get(e.name)
+        return replacement if replacement is not None else e
+    if isinstance(e, A.ELet):
+        new_env = {k: v for k, v in env.items() if k != e.name}
+        return A.ELet(e.name, substitute(e.bound, env), substitute(e.body, new_env),
+                      annot=e.annot, ty=e.ty, span=e.span)
+    if isinstance(e, A.ELetPat):
+        bound_names = set(e.pat.bound_vars())
+        new_env = {k: v for k, v in env.items() if k not in bound_names}
+        return A.ELetPat(e.pat, substitute(e.bound, env), substitute(e.body, new_env),
+                         ty=e.ty, span=e.span)
+    if isinstance(e, A.EFun):
+        new_env = {k: v for k, v in env.items() if k != e.param}
+        return A.EFun(e.param, substitute(e.body, new_env),
+                      param_ty=e.param_ty, ty=e.ty, span=e.span)
+    if isinstance(e, A.EMatch):
+        branches = []
+        for pat, body in e.branches:
+            bound_names = set(pat.bound_vars())
+            new_env = {k: v for k, v in env.items() if k not in bound_names}
+            branches.append((pat, substitute(body, new_env)))
+        return A.EMatch(substitute(e.scrutinee, env), tuple(branches),
+                        ty=e.ty, span=e.span)
+    return A.map_children(e, lambda x: substitute(x, env))
+
+
+def beta_reduce(e: A.Expr) -> A.Expr:
+    """Turn ``(fun x -> body) arg`` into ``let x = arg in body``, bottom-up."""
+    e = A.map_children(e, beta_reduce)
+    if isinstance(e, A.EApp) and isinstance(e.fn, A.EFun):
+        fn = e.fn
+        return beta_reduce(A.ELet(fn.param, e.arg, fn.body,
+                                  annot=fn.param_ty, ty=e.ty, span=e.span))
+    if isinstance(e, A.EApp) and isinstance(e.fn, A.ELet):
+        # Push applications through lets: ((let x = a in f) b) -> let x = a in (f b).
+        inner = e.fn
+        return beta_reduce(A.ELet(inner.name, inner.bound,
+                                  A.EApp(inner.body, e.arg, ty=e.ty),
+                                  annot=inner.annot, ty=e.ty, span=e.span))
+    return e
+
+
+def inline_program(program: A.Program,
+                   keep: set[str] | None = None) -> A.Program:
+    """Substitute every top-level ``let`` into subsequent declarations and
+    beta-reduce.  ``keep`` names survive as declarations (by default the
+    network entry points, fig 8)."""
+    if keep is None:
+        keep = {"init", "trans", "merge", "assert", "nodes", "edges"}
+    renamer = Renamer()
+    env: dict[str, A.Expr] = {}
+    decls: list[A.Decl] = []
+    for d in program.decls:
+        if isinstance(d, A.DLet):
+            # Rename before substitution (so local binders cannot capture free
+            # names in replacements) and after (so a definition substituted at
+            # several use sites never shares binder names across sites).
+            body = substitute(renamer.rename_expr(d.expr), env)
+            body = beta_reduce(renamer.rename_expr(body))
+            if d.name in keep:
+                decls.append(A.DLet(d.name, body, annot=d.annot))
+            else:
+                env[d.name] = body
+        elif isinstance(d, A.DRequire):
+            decls.append(A.DRequire(beta_reduce(substitute(
+                renamer.rename_expr(d.expr), env))))
+        else:
+            decls.append(d)
+    return A.Program(decls)
+
+
+def apply_function(fn_expr: A.Expr, args: list[A.Expr]) -> A.Expr:
+    """Build the inlined application of ``fn_expr`` to ``args``."""
+    e: A.Expr = fn_expr
+    for arg in args:
+        e = A.EApp(e, arg)
+    return beta_reduce(e)

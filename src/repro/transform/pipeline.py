@@ -1,0 +1,57 @@
+"""The §5.2 source-to-source pipeline, as one composable entry point.
+
+``lower_program`` runs the paper's transformation sequence:
+
+1. inline all functions (NV has no recursion, so this terminates);
+2. unbox options into (tag, payload) pairs;
+3. eliminate records into positional tuples;
+4. flatten nested tuples;
+5. partially evaluate, clearing the clutter the passes introduce.
+
+Types are re-inferred after each shape-changing pass (the passes rewrite
+layouts, so stale annotations would be wrong).  The result computes the same
+stable states as the input — the property the transformation test suite
+checks by simulating both — while containing only flat tuples of scalars and
+maps, the shape the SMT encoder and MTBDD layouts want.
+
+The pipeline requires a monomorphic program, which step 1 guarantees for
+network programs: the fig 8 entry points are monomorphic by definition and
+inlining specialises every helper at its use sites.
+"""
+
+from __future__ import annotations
+
+from ..lang import ast as A
+from ..lang.typecheck import check_program
+from .flatten import flatten_program, records_to_tuples_program
+from .inline import inline_program
+from .partial_eval import partial_eval_program
+from .unbox_options import unbox_program
+
+
+def lower_program(program: A.Program, unbox: bool = True,
+                  flatten: bool = True, partial: bool = True,
+                  unroll: bool = False) -> A.Program:
+    """Lower a network program to the §5.2 normal form.
+
+    ``unroll=True`` additionally eliminates maps into tuples (sound only for
+    programs obeying the §3.1 key discipline; see
+    :mod:`repro.transform.map_unrolling`)."""
+    program = inline_program(program)
+    check_program(program)
+    if unroll:
+        from .map_unrolling import unroll_program
+        program = unroll_program(program)
+        check_program(program)
+    if unbox:
+        program = unbox_program(program)
+        check_program(program)
+    if flatten:
+        program = records_to_tuples_program(program)
+        check_program(program)
+        program = flatten_program(program)
+        check_program(program)
+    if partial:
+        program = partial_eval_program(program)
+        check_program(program)
+    return program

@@ -1,0 +1,87 @@
+"""Alpha-renaming: make every bound variable unique.
+
+The SMT pipeline inlines functions and renames variables so bindings are
+unique (paper §5.2 "From Expressions to Constraints"); other passes rely on
+uniqueness to substitute without capture.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from ..lang import ast as A
+
+
+class Renamer:
+    def __init__(self, prefix: str = "v") -> None:
+        self._counter = itertools.count()
+        self.prefix = prefix
+
+    def fresh(self, base: str) -> str:
+        return f"{base}~{next(self._counter)}"
+
+    def rename_expr(self, e: A.Expr, env: dict[str, str] | None = None) -> A.Expr:
+        return self._rename(e, env or {})
+
+    def _rename(self, e: A.Expr, env: dict[str, str]) -> A.Expr:
+        if isinstance(e, A.EVar):
+            return A.EVar(env.get(e.name, e.name), ty=e.ty, span=e.span)
+        if isinstance(e, A.ELet):
+            bound = self._rename(e.bound, env)
+            new_name = self.fresh(e.name)
+            new_env = dict(env)
+            new_env[e.name] = new_name
+            return A.ELet(new_name, bound, self._rename(e.body, new_env),
+                          annot=e.annot, ty=e.ty, span=e.span)
+        if isinstance(e, A.ELetPat):
+            bound = self._rename(e.bound, env)
+            new_env = dict(env)
+            pat = self._rename_pattern(e.pat, new_env)
+            return A.ELetPat(pat, bound, self._rename(e.body, new_env),
+                             ty=e.ty, span=e.span)
+        if isinstance(e, A.EFun):
+            new_name = self.fresh(e.param)
+            new_env = dict(env)
+            new_env[e.param] = new_name
+            return A.EFun(new_name, self._rename(e.body, new_env),
+                          param_ty=e.param_ty, ty=e.ty, span=e.span)
+        if isinstance(e, A.EMatch):
+            scrutinee = self._rename(e.scrutinee, env)
+            branches = []
+            for pat, body in e.branches:
+                new_env = dict(env)
+                new_pat = self._rename_pattern(pat, new_env)
+                branches.append((new_pat, self._rename(body, new_env)))
+            return A.EMatch(scrutinee, tuple(branches), ty=e.ty, span=e.span)
+        return A.map_children(e, lambda x: self._rename(x, env))
+
+    def _rename_pattern(self, pat: A.Pattern, env: dict[str, str]) -> A.Pattern:
+        if isinstance(pat, A.PVar):
+            new_name = self.fresh(pat.name)
+            env[pat.name] = new_name
+            return A.PVar(new_name)
+        if isinstance(pat, A.PSome):
+            return A.PSome(self._rename_pattern(pat.sub, env))
+        if isinstance(pat, A.PTuple):
+            return A.PTuple(tuple(self._rename_pattern(p, env) for p in pat.elts))
+        if isinstance(pat, A.PEdge):
+            return A.PEdge(self._rename_pattern(pat.src, env),
+                           self._rename_pattern(pat.dst, env))
+        if isinstance(pat, A.PRecord):
+            return A.PRecord(tuple((n, self._rename_pattern(p, env))
+                                   for n, p in pat.fields))
+        return pat
+
+
+def rename_program(program: A.Program) -> A.Program:
+    """Alpha-rename every declaration body (top-level names are kept)."""
+    renamer = Renamer()
+    decls: list[A.Decl] = []
+    for d in program.decls:
+        if isinstance(d, A.DLet):
+            decls.append(A.DLet(d.name, renamer.rename_expr(d.expr), annot=d.annot))
+        elif isinstance(d, A.DRequire):
+            decls.append(A.DRequire(renamer.rename_expr(d.expr)))
+        else:
+            decls.append(d)
+    return A.Program(decls)

@@ -1,0 +1,192 @@
+"""Unit and property tests for the BDD/MTBDD node manager."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bdd.manager import BddManager, LEAF_LEVEL
+
+
+@pytest.fixture
+def mgr() -> BddManager:
+    return BddManager()
+
+
+class TestHashConsing:
+    def test_leaves_are_shared(self, mgr):
+        assert mgr.leaf(42) == mgr.leaf(42)
+        assert mgr.leaf(42) != mgr.leaf(43)
+
+    def test_true_false_distinct(self, mgr):
+        assert mgr.true != mgr.false
+        assert mgr.leaf_value(mgr.true) is True
+        assert mgr.leaf_value(mgr.false) is False
+
+    def test_mk_reduces_equal_children(self, mgr):
+        leaf = mgr.leaf("x")
+        assert mgr.mk(0, leaf, leaf) == leaf
+
+    def test_mk_is_canonical(self, mgr):
+        a = mgr.mk(0, mgr.false, mgr.true)
+        b = mgr.mk(0, mgr.false, mgr.true)
+        assert a == b
+
+    def test_unhashable_leaf_rejected(self, mgr):
+        with pytest.raises(TypeError):
+            mgr.leaf([1, 2, 3])
+
+    def test_var_structure(self, mgr):
+        v = mgr.var(3)
+        assert mgr.level(v) == 3
+        assert mgr.lo(v) == mgr.false
+        assert mgr.hi(v) == mgr.true
+
+
+class TestBooleanOps:
+    def test_not(self, mgr):
+        v = mgr.var(0)
+        assert mgr.bnot(mgr.bnot(v)) == v
+        assert mgr.bnot(mgr.true) == mgr.false
+
+    def test_and_or_constants(self, mgr):
+        v = mgr.var(0)
+        assert mgr.band(v, mgr.true) == v
+        assert mgr.band(v, mgr.false) == mgr.false
+        assert mgr.bor(v, mgr.false) == v
+        assert mgr.bor(v, mgr.true) == mgr.true
+
+    def test_excluded_middle(self, mgr):
+        v = mgr.var(2)
+        assert mgr.bor(v, mgr.bnot(v)) == mgr.true
+        assert mgr.band(v, mgr.bnot(v)) == mgr.false
+
+    def test_xor_iff(self, mgr):
+        a, b = mgr.var(0), mgr.var(1)
+        assert mgr.bxor(a, a) == mgr.false
+        assert mgr.biff(a, a) == mgr.true
+        assert mgr.bxor(a, b) == mgr.bnot(mgr.biff(a, b))
+
+    def test_ite(self, mgr):
+        a, b, c = mgr.var(0), mgr.var(1), mgr.var(2)
+        ite = mgr.bite(a, b, c)
+        # Shannon expansion: ite(a,b,c) == (a&b)|(~a&c)
+        expect = mgr.bor(mgr.band(a, b), mgr.band(mgr.bnot(a), c))
+        assert ite == expect
+
+    @given(st.lists(st.tuples(st.integers(0, 4), st.booleans()), max_size=6))
+    @settings(max_examples=60, deadline=None)
+    def test_cube_evaluation(self, assignments):
+        mgr = BddManager()
+        cube = mgr.true
+        expected: dict[int, bool] = {}
+        consistent = True
+        for lvl, val in assignments:
+            if lvl in expected and expected[lvl] != val:
+                consistent = False
+            expected.setdefault(lvl, val)
+            lit = mgr.var(lvl) if val else mgr.nvar(lvl)
+            cube = mgr.band(cube, lit)
+        if not consistent:
+            assert cube == mgr.false
+        else:
+            result = mgr.restrict_eval(cube, lambda lvl: expected.get(lvl, False))
+            assert result is True
+
+
+class TestCounting:
+    def test_sat_count_var(self, mgr):
+        v = mgr.var(0)
+        assert mgr.sat_count(v, 3) == 4  # v=1, two free vars
+
+    def test_sat_count_true(self, mgr):
+        assert mgr.sat_count(mgr.true, 5) == 32
+        assert mgr.sat_count(mgr.false, 5) == 0
+
+    def test_sat_count_skipped_vars(self, mgr):
+        # var(2) alone among 4 vars: 2^3 assignments
+        assert mgr.sat_count(mgr.var(2), 4) == 8
+
+    @given(st.integers(1, 4), st.integers(0, 15))
+    @settings(max_examples=40, deadline=None)
+    def test_sat_count_matches_enumeration(self, num_vars, seed):
+        mgr = BddManager()
+        # Build a pseudo-random function over num_vars variables.
+        table = [(seed >> i) & 1 for i in range(1 << num_vars)]
+
+        def build(level, index):
+            if level == num_vars:
+                return mgr.leaf(bool(table[index]))
+            return mgr.mk(level, build(level + 1, index << 1),
+                          build(level + 1, (index << 1) | 1))
+
+        root = build(0, 0)
+        assert mgr.sat_count(root, num_vars) == sum(table[:1 << num_vars])
+
+    def test_leaf_groups(self, mgr):
+        # map over 2 variables: 00,01 -> 'a'; 10 -> 'b'; 11 -> 'a'
+        a, b = mgr.leaf("a"), mgr.leaf("b")
+        root = mgr.mk(0, a, mgr.mk(1, b, a))
+        groups = mgr.leaf_groups(root, 2)
+        assert groups == {"a": 3, "b": 1}
+
+    def test_leaf_groups_with_domain(self, mgr):
+        a, b = mgr.leaf("a"), mgr.leaf("b")
+        root = mgr.mk(0, a, b)
+        domain = mgr.nvar(1)  # var1 must be false
+        groups = mgr.leaf_groups(root, 2, domain)
+        assert groups == {"a": 1, "b": 1}
+
+    def test_any_sat(self, mgr):
+        v0, v1 = mgr.var(0), mgr.var(1)
+        f = mgr.band(v0, mgr.bnot(v1))
+        model = mgr.any_sat(f, 3)
+        assert model is not None
+        assert model[0] is True and model[1] is False
+        assert mgr.any_sat(mgr.false, 2) is None
+
+
+class TestMtbddOps:
+    def test_apply1_touches_each_leaf_once(self, mgr):
+        calls = []
+
+        def fn(v):
+            calls.append(v)
+            return v + 1
+
+        root = mgr.mk(0, mgr.leaf(10), mgr.mk(1, mgr.leaf(10), mgr.leaf(20)))
+        out = mgr.apply1(fn, root)
+        assert sorted(calls) == [10, 20]  # shared leaf evaluated once
+        assert mgr.restrict_eval(out, lambda _: False) == 11
+
+    def test_apply2_pointwise(self, mgr):
+        m1 = mgr.mk(0, mgr.leaf(1), mgr.leaf(2))
+        m2 = mgr.mk(1, mgr.leaf(10), mgr.leaf(20))
+        out = mgr.apply2(lambda a, b: a + b, m1, m2)
+        # (v0,v1): 00->11, 01->21, 10->12, 11->22
+        assert mgr.get_path(out, {0: False, 1: False}) == 11
+        assert mgr.get_path(out, {0: False, 1: True}) == 21
+        assert mgr.get_path(out, {0: True, 1: False}) == 12
+        assert mgr.get_path(out, {0: True, 1: True}) == 22
+
+    def test_map_ite(self, mgr):
+        # fig 11: increment entries whose key > 1 (2-bit keys), drop others.
+        root = mgr.leaf(100)
+        from repro.bdd import bitvec
+        keybits = bitvec.var_bits(mgr, 0, 2)
+        pred = bitvec.ult(mgr, bitvec.const_bits(mgr, 1, 2), keybits)
+        out = mgr.map_ite(pred, lambda v: v + 1, lambda v: None, root)
+        assert mgr.get_path(out, {0: False, 1: False}) is None  # key 0
+        assert mgr.get_path(out, {0: False, 1: True}) is None   # key 1
+        assert mgr.get_path(out, {0: True, 1: False}) == 101    # key 2
+        assert mgr.get_path(out, {0: True, 1: True}) == 101     # key 3
+
+    def test_set_path_then_get(self, mgr):
+        root = mgr.leaf("default")
+        root = mgr.set_path(root, [(0, True), (1, False)], mgr.leaf("special"))
+        assert mgr.get_path(root, {0: True, 1: False}) == "special"
+        assert mgr.get_path(root, {0: False, 1: False}) == "default"
+        assert mgr.get_path(root, {0: True, 1: True}) == "default"
+
+    def test_node_count_shares(self, mgr):
+        v = mgr.var(0)
+        assert mgr.node_count(v) == 3  # node + 2 terminals

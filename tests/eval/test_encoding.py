@@ -1,0 +1,109 @@
+"""Encode/decode round-trip tests for finitary type layouts."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.eval.encoding import Encoder
+from repro.eval.values import VRecord, VSome
+from repro.lang import types as T
+from repro.lang.errors import NvEncodingError
+
+EDGES = ((0, 1), (1, 0), (1, 2), (2, 1))
+ENC = Encoder(3, EDGES)
+
+
+def types_and_values():
+    """(type, value strategy) pairs for hypothesis."""
+    return st.one_of(
+        st.tuples(st.just(T.TBool()), st.booleans()),
+        st.tuples(st.just(T.TInt(6)), st.integers(0, 63)),
+        st.tuples(st.just(T.TNode()), st.integers(0, 2)),
+        st.tuples(st.just(T.TOption(T.TInt(4))),
+                  st.one_of(st.none(), st.integers(0, 15).map(VSome))),
+        st.tuples(st.just(T.TTuple((T.TBool(), T.TInt(3)))),
+                  st.tuples(st.booleans(), st.integers(0, 7))),
+    )
+
+
+@given(types_and_values())
+@settings(max_examples=100, deadline=None)
+def test_roundtrip(pair):
+    ty, value = pair
+    bits = ENC.encode(ty, value)
+    assert len(bits) == ENC.width(ty)
+    assert ENC.decode(ty, bits) == value
+
+
+class TestWidths:
+    def test_base_widths(self):
+        assert ENC.width(T.TBool()) == 1
+        assert ENC.width(T.TInt(8)) == 8
+        assert ENC.width(T.TNode()) == 2  # 3 nodes -> 2 bits
+        assert ENC.width(T.TEdge()) == 4
+
+    def test_compound_widths(self):
+        assert ENC.width(T.TOption(T.TInt(4))) == 5
+        assert ENC.width(T.TTuple((T.TBool(), T.TInt(3)))) == 4
+        rec = T.TRecord((("a", T.TInt(2)), ("b", T.TBool())))
+        assert ENC.width(rec) == 3
+
+    def test_single_node_network(self):
+        enc = Encoder(1, ())
+        assert enc.width(T.TNode()) == 1
+
+    def test_map_key_rejected(self):
+        with pytest.raises(NvEncodingError):
+            ENC.width(T.TDict(T.TInt(2), T.TBool()))
+
+
+class TestRecords:
+    def test_record_roundtrip(self):
+        ty = T.TRecord((("x", T.TInt(3)), ("flag", T.TBool())))
+        value = VRecord((("x", 5), ("flag", True)))
+        assert ENC.decode(ty, ENC.encode(ty, value)) == value
+
+    def test_nested_option_record(self):
+        ty = T.TOption(T.TRecord((("x", T.TInt(3)),)))
+        v = VSome(VRecord((("x", 2),)))
+        assert ENC.decode(ty, ENC.encode(ty, v)) == v
+        assert ENC.decode(ty, ENC.encode(ty, None)) is None
+
+
+class TestDomains:
+    def test_node_domain_counts(self):
+        from repro.bdd.manager import BddManager
+        mgr = BddManager()
+        dom = ENC.domain(T.TNode(), mgr)
+        assert mgr.sat_count(dom, ENC.width(T.TNode())) == 3
+
+    def test_edge_domain_counts(self):
+        from repro.bdd.manager import BddManager
+        mgr = BddManager()
+        dom = ENC.domain(T.TEdge(), mgr)
+        assert mgr.sat_count(dom, ENC.width(T.TEdge())) == len(EDGES)
+
+    def test_option_domain_canonical_none(self):
+        from repro.bdd.manager import BddManager
+        mgr = BddManager()
+        ty = T.TOption(T.TInt(2))
+        dom = ENC.domain(ty, mgr)
+        # Valid: 4 Some values + exactly one canonical None = 5.
+        assert mgr.sat_count(dom, ENC.width(ty)) == 5
+
+    def test_errors_on_out_of_range_node(self):
+        with pytest.raises(NvEncodingError):
+            ENC.encode(T.TNode(), 7)
+
+
+class TestEnumerate:
+    def test_enumerate_small(self):
+        assert ENC.enumerate_values(T.TBool()) == [False, True]
+        assert len(ENC.enumerate_values(T.TInt(3))) == 8
+        assert ENC.enumerate_values(T.TNode()) == [0, 1, 2]
+        assert ENC.enumerate_values(T.TEdge()) == list(EDGES)
+        assert len(ENC.enumerate_values(T.TOption(T.TBool()))) == 3
+
+    def test_enumerate_refuses_huge(self):
+        with pytest.raises(NvEncodingError):
+            ENC.enumerate_values(T.TInt(32))

@@ -1,0 +1,134 @@
+"""Interpreter semantics tests."""
+
+import pytest
+
+from repro.eval.values import VRecord, VSome
+from repro.lang.errors import NvRuntimeError
+from tests.helpers import eval_expr_src, eval_nv
+
+
+class TestScalars:
+    def test_arith_wraps_at_width(self):
+        assert eval_expr_src("250u8 + 10u8") == 4
+        assert eval_expr_src("3u8 - 5u8") == 254
+
+    def test_default_width_is_32(self):
+        assert eval_expr_src("4294967295 + 1") == 0
+
+    def test_comparisons(self):
+        assert eval_expr_src("1 < 2") is True
+        assert eval_expr_src("2 <= 2") is True
+        assert eval_expr_src("3 < 2") is False
+
+    def test_boolean_short_circuit(self):
+        # && must not evaluate its right side when the left is false: the
+        # right side here would fail at runtime (match failure).
+        src = """
+let boom = fun u -> match None with | Some v -> v
+let main = false && boom 0
+"""
+        assert eval_nv(src) is False
+
+    def test_neq(self):
+        assert eval_expr_src("1 <> 2") is True
+
+
+class TestDataStructures:
+    def test_tuple_and_projection(self):
+        assert eval_expr_src("(1, 2, 3).1") == 2
+
+    def test_record_projection(self):
+        assert eval_expr_src("{length = 7; lp = 1}.length") == 7
+
+    def test_record_update(self):
+        out = eval_expr_src("{{length = 7; lp = 1} with lp = 9}")
+        assert out == VRecord((("length", 7), ("lp", 9)))
+
+    def test_option_values(self):
+        assert eval_expr_src("Some (1+1)") == VSome(2)
+        assert eval_expr_src("None") is None
+
+    def test_record_equality(self):
+        assert eval_expr_src("{length = 1; lp = 2} = {length = 1; lp = 2}") is True
+        assert eval_expr_src("{length = 1; lp = 2} = {length = 1; lp = 3}") is False
+
+
+class TestControl:
+    def test_match_first_wins(self):
+        src = "let main = match 2u8 with | 2u8 -> 10 | _ -> 20"
+        assert eval_nv(src) == 10
+
+    def test_match_failure_raises(self):
+        with pytest.raises(NvRuntimeError):
+            eval_expr_src("match None with | Some v -> v")
+
+    def test_match_binds_nested(self):
+        assert eval_expr_src("match Some (1, 2) with | None -> 0 | Some (a, b) -> a + b") == 3
+
+    def test_closures_capture(self):
+        src = """
+let addn = fun n -> fun x -> x + n
+let main = (addn 5) 10
+"""
+        assert eval_nv(src) == 15
+
+    def test_shadowing(self):
+        assert eval_expr_src("let x = 1 in let x = x + 1 in x") == 2
+
+    def test_let_pattern(self):
+        assert eval_expr_src("let (a, b) = (1, 2) in b") == 2
+
+
+class TestSymbolicDecls:
+    def test_symbolic_requires_value(self):
+        src = "symbolic s : int8\nlet main = s + 1u8"
+        with pytest.raises(NvRuntimeError):
+            eval_nv(src)
+        assert eval_nv(src, symbolics={"s": 4}) == 5
+
+    def test_require_enforced(self):
+        src = "symbolic s : int8\nrequire s < 5u8\nlet main = s"
+        with pytest.raises(NvRuntimeError):
+            eval_nv(src, symbolics={"s": 9})
+        assert eval_nv(src, symbolics={"s": 3}) == 3
+
+
+class TestPaperFig2:
+    def test_merge_prefers_higher_lp(self):
+        src = """
+include bgp
+let a = Some {length=5; lp=200; med=0; comms={}; origin=1n}
+let b = Some {length=1; lp=100; med=0; comms={}; origin=2n}
+let main = mergeBgp 0n a b
+"""
+        out = eval_nv(src)
+        assert out.value.get("lp") == 200
+
+    def test_merge_shorter_path_on_tie(self):
+        src = """
+include bgp
+let a = Some {length=5; lp=100; med=0; comms={}; origin=1n}
+let b = Some {length=1; lp=100; med=0; comms={}; origin=2n}
+let main = mergeBgp 0n a b
+"""
+        assert eval_nv(src).value.get("length") == 1
+
+    def test_merge_med_breaks_tie(self):
+        src = """
+include bgp
+let a = Some {length=1; lp=100; med=10; comms={}; origin=1n}
+let b = Some {length=1; lp=100; med=5; comms={}; origin=2n}
+let main = mergeBgp 0n a b
+"""
+        assert eval_nv(src).value.get("med") == 5
+
+    def test_trans_increments_length(self):
+        src = """
+include bgp
+let main = transBgp (0n, 1n) (Some {length=3; lp=100; med=0; comms={}; origin=0n})
+"""
+        assert eval_nv(src).value.get("length") == 4
+
+    def test_trans_drops_none(self):
+        src = "include bgp\nlet main = transBgp (0n, 1n) None"
+        assert eval_nv(src) is None

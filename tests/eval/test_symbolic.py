@@ -1,0 +1,142 @@
+"""Tests for the symbolic (BDD) evaluation of mapIte key predicates.
+
+Strategy: for a predicate written in NV, build the BDD and compare it with
+brute-force evaluation of the same predicate over every valid key.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.eval.interp import Interpreter, program_env
+from repro.eval.maps import MapContext
+from repro.lang import types as T
+from repro.lang.errors import NvEncodingError
+from repro.lang.parser import parse_program
+from repro.lang.typecheck import check_program
+from repro.protocols import resolve
+
+EDGES = ((0, 1), (1, 0), (1, 2), (2, 1), (0, 3), (3, 0))
+
+
+def pred_bdd_and_eval(pred_src: str, key_ty: T.Type, symbolics=None):
+    """Return (bdd evaluator, concrete evaluator) for an NV predicate."""
+    src = f"let pred = {pred_src}"
+    program = parse_program(src, resolve)
+    check_program(program)
+    ctx = MapContext(4, EDGES)
+    interp = Interpreter(ctx)
+    env = program_env(program, interp, symbolics)
+    pred = env["pred"]
+    bdd = interp.predicate_bdd(pred, key_ty)
+    mgr = ctx.manager
+    enc = ctx.encoder
+
+    def by_bdd(key):
+        bits = enc.encode(key_ty, key)
+        return mgr.restrict_eval(bdd, lambda lvl: bits[lvl])
+
+    def by_interp(key):
+        return interp.apply(pred, key)
+
+    return by_bdd, by_interp
+
+
+class TestIntPredicates:
+    @pytest.mark.parametrize("pred", [
+        "fun k -> k < 3u4",
+        "fun k -> k <= 7u4",
+        "fun k -> k = 5u4",
+        "fun k -> k <> 0u4",
+        "fun k -> k + 1u4 < 3u4",
+        "fun k -> (k < 2u4) || (k > 12u4)",
+        "fun k -> !(k < 8u4)",
+        "fun k -> true",
+        "fun k -> false",
+    ])
+    def test_matches_concrete(self, pred):
+        by_bdd, by_interp = pred_bdd_and_eval(pred, T.TInt(4))
+        for k in range(16):
+            assert by_bdd(k) == by_interp(k), (pred, k)
+
+    def test_match_in_predicate(self):
+        pred = "fun k -> match k with | 3u4 -> true | _ -> false"
+        by_bdd, by_interp = pred_bdd_and_eval(pred, T.TInt(4))
+        for k in range(16):
+            assert by_bdd(k) == by_interp(k)
+
+
+class TestEdgePredicates:
+    def test_edge_equality(self):
+        # The fig 5 fault-tolerance predicate shape.
+        by_bdd, by_interp = pred_bdd_and_eval(
+            "fun k -> k = (1n, 2n)", T.TEdge())
+        for e in EDGES:
+            assert by_bdd(e) == by_interp(e) == (e == (1, 2))
+
+    def test_edge_destructuring(self):
+        by_bdd, by_interp = pred_bdd_and_eval(
+            "fun k -> let (a, b) = k in a = 0n || b = 0n", T.TEdge())
+        for e in EDGES:
+            assert by_bdd(e) == by_interp(e)
+
+
+class TestOptionPredicates:
+    def test_option_match(self):
+        from repro.eval.values import VSome
+        pred = "fun k -> match k with | None -> false | Some v -> v < 2u3"
+        key_ty = T.TOption(T.TInt(3))
+        by_bdd, by_interp = pred_bdd_and_eval(pred, key_ty)
+        for key in [None] + [VSome(v) for v in range(8)]:
+            assert by_bdd(key) == by_interp(key)
+
+
+class TestTuplePredicates:
+    def test_components(self):
+        pred = "fun k -> let (a, b) = k in a < 2u3 && b"
+        key_ty = T.TTuple((T.TInt(3), T.TBool()))
+        by_bdd, by_interp = pred_bdd_and_eval(pred, key_ty)
+        for a in range(8):
+            for b in (False, True):
+                assert by_bdd((a, b)) == by_interp((a, b))
+
+
+class TestCapturedValues:
+    def test_captured_concrete(self):
+        src = """
+let bound = 5u4
+let pred = fun k -> k < bound
+"""
+        program = parse_program(src, resolve)
+        check_program(program)
+        ctx = MapContext(4, EDGES)
+        interp = Interpreter(ctx)
+        env = program_env(program, interp)
+        bdd = interp.predicate_bdd(env["pred"], T.TInt(4))
+        enc = ctx.encoder
+        for k in range(16):
+            bits = enc.encode(T.TInt(4), k)
+            assert ctx.manager.restrict_eval(bdd, lambda lvl: bits[lvl]) == (k < 5)
+
+    def test_predicate_cache_distinguishes_captures(self):
+        src = "let mk = fun b -> fun k -> k < b"
+        program = parse_program(src, resolve)
+        check_program(program)
+        ctx = MapContext(4, EDGES)
+        interp = Interpreter(ctx)
+        env = program_env(program, interp)
+        p3 = interp.apply(env["mk"], 3)
+        p9 = interp.apply(env["mk"], 9)
+        bdd3 = interp.predicate_bdd(p3, T.TInt(4))
+        bdd9 = interp.predicate_bdd(p9, T.TInt(4))
+        assert bdd3 != bdd9  # same body, different captured bound
+        assert interp.predicate_bdd(p3, T.TInt(4)) == bdd3  # cache hit
+
+
+@given(st.integers(0, 15), st.integers(0, 15), st.booleans())
+@settings(max_examples=30, deadline=None)
+def test_random_threshold_predicates(lo, hi, invert):
+    pred = f"fun k -> {'!' if invert else ''}(({lo}u4 <= k) && (k <= {hi}u4))"
+    by_bdd, by_interp = pred_bdd_and_eval(pred, T.TInt(4))
+    for k in range(16):
+        assert by_bdd(k) == by_interp(k)

@@ -1,0 +1,143 @@
+"""Configuration parser tests (paper fig 1 dialect)."""
+
+import pytest
+
+from repro.frontend.configs import (ConfigError, Prefix, format_ip,
+                                    infer_topology, mask_to_len, parse_config,
+                                    parse_community, parse_ip,
+                                    wildcard_to_len)
+
+FIG1 = """
+interface Ethernet0
+ ip address 172.16.0.0/31
+
+ip route 192.168.1.0 255.255.255.0 192.168.2.1
+router bgp 1
+ redistribute static
+ neighbor 172.16.0.1 remote-as 2
+ neighbor 172.16.0.1 route-map RMO out
+
+router ospf 1
+ redistribute static metric 20
+ distance 70
+ network 192.168.42.0 0.0.0.255 area 0
+
+ip community-list standard comm1 permit 1:2 1:3
+ip prefix-list pfx permit 192.168.2.0/24
+route-map RMO permit 10
+ match community comm1
+ match ip address prefix-list pfx
+ set local-preference 200
+route-map RMO permit 20
+ set metric 90
+"""
+
+
+class TestAddressing:
+    def test_parse_ip(self):
+        assert parse_ip("10.0.0.1") == 0x0A000001
+        assert format_ip(0x0A000001) == "10.0.0.1"
+
+    def test_bad_ip(self):
+        with pytest.raises(ConfigError):
+            parse_ip("300.1.2.3")
+        with pytest.raises(ConfigError):
+            parse_ip("1.2.3")
+
+    def test_mask_conversion(self):
+        assert mask_to_len(parse_ip("255.255.255.0")) == 24
+        assert mask_to_len(parse_ip("255.255.255.254")) == 31
+        with pytest.raises(ConfigError):
+            mask_to_len(parse_ip("255.0.255.0"))
+
+    def test_wildcard(self):
+        assert wildcard_to_len(parse_ip("0.0.0.255")) == 24
+
+    def test_prefix_canonicalised(self):
+        p = Prefix(parse_ip("192.168.1.77"), 24)
+        assert str(p) == "192.168.1.0/24"
+
+    def test_prefix_contains(self):
+        outer = Prefix.parse("10.0.0.0/8")
+        inner = Prefix.parse("10.1.0.0/16")
+        assert outer.contains(inner)
+        assert not inner.contains(outer)
+
+    def test_community(self):
+        assert parse_community("1:2") == (1 << 16) | 2
+        assert parse_community("100") == 100
+
+
+class TestFig1Parsing:
+    def test_full_parse(self):
+        cfg = parse_config("r1", FIG1)
+        assert cfg.interfaces["Ethernet0"].prefix == Prefix.parse("172.16.0.0/31")
+        assert len(cfg.static_routes) == 1
+        assert cfg.static_routes[0].prefix == Prefix.parse("192.168.1.0/24")
+        assert cfg.bgp is not None and cfg.bgp.asn == 1
+        assert "static" in cfg.bgp.redistribute
+        neighbor = cfg.bgp.neighbors[parse_ip("172.16.0.1")]
+        assert neighbor.remote_as == 2
+        assert neighbor.route_map_out == "RMO"
+        assert cfg.ospf is not None
+        assert cfg.ospf.networks[0].area == 0
+        assert cfg.ospf.redistribute_metric == 20
+        assert cfg.community_lists["comm1"] == [
+            parse_community("1:2"), parse_community("1:3")]
+        assert cfg.prefix_lists["pfx"] == [Prefix.parse("192.168.2.0/24")]
+
+    def test_route_map_clauses(self):
+        cfg = parse_config("r1", FIG1)
+        clauses = cfg.route_maps["RMO"]
+        assert [c.seq for c in clauses] == [10, 20]
+        assert clauses[0].match_communities == ["comm1"]
+        assert clauses[0].match_prefix_lists == ["pfx"]
+        assert clauses[0].set_local_pref == 200
+        assert clauses[1].set_metric == 90
+        assert clauses[1].match_communities == []
+
+    def test_bang_comments_ignored(self):
+        cfg = parse_config("r", "! header\nrouter bgp 7 ! trailing\n")
+        assert cfg.bgp.asn == 7
+
+    def test_unknown_line_rejected(self):
+        with pytest.raises(ConfigError):
+            parse_config("r", "frobnicate the widgets")
+
+    def test_deny_route_map(self):
+        cfg = parse_config("r", """
+route-map X deny 5
+ match community c
+ip community-list standard c permit 99
+""")
+        assert cfg.route_maps["X"][0].action == "deny"
+
+    def test_set_community_additive(self):
+        cfg = parse_config("r", """
+route-map X permit 10
+ set community 1:7 additive
+""")
+        assert cfg.route_maps["X"][0].set_communities == [parse_community("1:7")]
+
+    def test_ospf_interface_cost(self):
+        cfg = parse_config("r", """
+interface Serial0
+ ip address 10.0.0.1/30
+ ip ospf cost 15
+""")
+        assert cfg.interfaces["Serial0"].ospf_cost == 15
+
+
+class TestTopologyInference:
+    def test_shared_subnet_links(self):
+        a = parse_config("a", "interface E0\n ip address 10.0.0.1/30\n")
+        b = parse_config("b", "interface E0\n ip address 10.0.0.2/30\n")
+        c = parse_config("c", "interface E0\n ip address 10.0.1.1/30\n")
+        node_of, links = infer_topology([a, b, c])
+        assert links == [(node_of["a"], node_of["b"])]
+
+    def test_three_way_subnet(self):
+        cfgs = [parse_config(h, f"interface E0\n ip address 10.0.0.{i}/29\n")
+                for i, h in ((1, "a"), (2, "b"), (3, "c"))]
+        _, links = infer_topology(cfgs)
+        assert len(links) == 3  # full mesh on the shared LAN

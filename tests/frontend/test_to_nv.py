@@ -1,0 +1,162 @@
+"""End-to-end configuration translation tests (paper §4)."""
+
+import pytest
+
+from repro.frontend.configs import parse_config
+from repro.frontend.to_nv import translate
+from repro.srp.network import functions_from_program
+from repro.srp.simulate import simulate
+
+
+def bgp_chain():
+    r1 = parse_config("r1", """
+hostname r1
+interface Ethernet0
+ ip address 172.16.0.0/31
+interface Loopback0
+ ip address 192.168.1.0/24
+ip route 10.0.0.0 255.255.255.0 172.16.0.1
+router bgp 1
+ redistribute static
+ network 192.168.1.0/24
+ neighbor 172.16.0.1 remote-as 2
+ neighbor 172.16.0.1 route-map RMO out
+ip community-list standard comm1 permit 1:2 1:3
+ip prefix-list pfx permit 192.168.2.0/24
+route-map RMO permit 10
+ match community comm1
+ match ip address prefix-list pfx
+ set local-preference 200
+route-map RMO permit 20
+ set metric 90
+""")
+    r2 = parse_config("r2", """
+hostname r2
+interface Ethernet0
+ ip address 172.16.0.1/31
+interface Ethernet1
+ ip address 172.16.1.0/31
+router bgp 2
+ neighbor 172.16.0.0 remote-as 1
+ neighbor 172.16.1.1 remote-as 3
+""")
+    r3 = parse_config("r3", """
+hostname r3
+interface Ethernet0
+ ip address 172.16.1.1/31
+interface Loopback0
+ ip address 192.168.3.0/24
+router bgp 3
+ network 192.168.3.0/24
+ neighbor 172.16.1.0 remote-as 2
+""")
+    return [r1, r2, r3]
+
+
+@pytest.fixture(scope="module")
+def chain_solution():
+    tr = translate(bgp_chain(), assert_prefix="192.168.1.0/24")
+    net = tr.load()
+    funcs = functions_from_program(net)
+    return tr, net, simulate(funcs), funcs
+
+
+class TestBgpChain:
+    def test_topology_inferred(self, chain_solution):
+        tr, net, _, _ = chain_solution
+        assert net.num_nodes == 3
+        assert tr.links == [(0, 1), (1, 2)]
+
+    def test_route_propagates_with_route_map(self, chain_solution):
+        tr, net, sol, _ = chain_solution
+        pid = tr.prefix_id("192.168.1.0/24")
+        r2 = sol.labels[tr.node_of["r2"]].get(pid)
+        assert r2.get("sel") == 3  # selected: bgp
+        # RMO clause 20 applies (no matching communities): metric 90.
+        assert r2.get("bgp").value.get("medB") == 90
+        assert r2.get("bgp").value.get("lenB") == 1
+        r3 = sol.labels[tr.node_of["r3"]].get(pid)
+        assert r3.get("bgp").value.get("lenB") == 2
+
+    def test_connected_beats_bgp(self, chain_solution):
+        tr, net, sol, _ = chain_solution
+        pid = tr.prefix_id("192.168.1.0/24")
+        r1 = sol.labels[tr.node_of["r1"]].get(pid)
+        assert r1.get("conn") is True
+        assert r1.get("sel") == 1  # connected wins by admin distance
+
+    def test_static_redistributed(self, chain_solution):
+        tr, net, sol, _ = chain_solution
+        pid = tr.prefix_id("10.0.0.0/24")
+        r3 = sol.labels[tr.node_of["r3"]].get(pid)
+        assert r3.get("bgp") is not None
+        assert r3.get("sel") == 3
+
+    def test_reverse_direction(self, chain_solution):
+        tr, net, sol, _ = chain_solution
+        pid = tr.prefix_id("192.168.3.0/24")
+        r1 = sol.labels[tr.node_of["r1"]].get(pid)
+        assert r1.get("bgp").value.get("lenB") == 2
+
+    def test_assertion_holds(self, chain_solution):
+        _, _, sol, funcs = chain_solution
+        assert sol.check_assertions(funcs.assert_fn) == []
+
+    def test_untracked_prefix_empty(self, chain_solution):
+        tr, net, sol, _ = chain_solution
+        # A prefix id beyond the universe: entry must be empty everywhere.
+        unused = max(tr.prefix_ids.values()) + 1
+        for u in range(net.num_nodes):
+            assert sol.labels[u].get(unused).get("sel") == 0
+
+
+class TestOspfPair:
+    def test_ospf_costs_and_areas(self):
+        a = parse_config("a", """
+interface E0
+ ip address 10.0.0.1/30
+ ip ospf cost 5
+interface Loop0
+ ip address 192.168.10.0/24
+router ospf 1
+ network 10.0.0.0 0.0.0.3 area 0
+ network 192.168.10.0 0.0.0.255 area 0
+""")
+        b = parse_config("b", """
+interface E0
+ ip address 10.0.0.2/30
+router ospf 1
+ network 10.0.0.0 0.0.0.3 area 0
+""")
+        tr = translate([a, b])
+        net = tr.load()
+        funcs = functions_from_program(net)
+        sol = simulate(funcs)
+        pid = tr.prefix_id("192.168.10.0/24")
+        rb = sol.labels[tr.node_of["b"]].get(pid)
+        assert rb.get("ospf") is not None
+        assert rb.get("sel") == 4
+        # a's interface cost 5 is paid when a exports towards b? The cost is
+        # attached to the *sender's* interface on the shared subnet.
+        assert rb.get("ospf").value.get("costO") == 5
+
+    def test_no_session_no_routes(self):
+        # Adjacent routers with no common protocol exchange nothing.
+        a = parse_config("a", """
+interface E0
+ ip address 10.0.0.1/30
+interface Loop0
+ ip address 192.168.9.0/24
+router bgp 1
+""")
+        b = parse_config("b", """
+interface E0
+ ip address 10.0.0.2/30
+router ospf 1
+ network 10.0.0.0 0.0.0.3 area 0
+""")
+        tr = translate([a, b])
+        net = tr.load()
+        sol = simulate(functions_from_program(net))
+        pid = tr.prefix_id("192.168.9.0/24")
+        assert sol.labels[tr.node_of["b"]].get(pid).get("sel") == 0

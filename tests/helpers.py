@@ -1,0 +1,72 @@
+"""Shared fixtures and program sources for the test suite."""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.eval.interp import Interpreter, program_env
+from repro.eval.maps import MapContext
+from repro.lang.parser import parse_program
+from repro.lang.typecheck import check_program
+from repro.protocols import resolve
+from repro.srp.network import Network
+
+# The paper's fig 2b network (5 nodes; node 4 is the external peer).
+FIG2_NETWORK = """
+include bgp
+let nodes = 5
+let edges = {0n=1n;0n=2n;1n=4n;2n=4n;1n=3n;2n=3n}
+
+symbolic route : attribute
+
+let trans e x = transBgp e x
+let merge u x y = mergeBgp u x y
+
+let init (u : node) =
+  match u with
+  | 0n -> Some {length=0; lp=100; med=80; comms={}; origin=0n}
+  | 4n -> route
+  | _ -> None
+
+let assert (u : node) (x : attribute) =
+  match x with
+  | None -> false
+  | Some b -> if (u <> 4n) then b.origin = 0n else true
+"""
+
+# A triangle running plain hop-count routing; destination is node 0.
+RIP_TRIANGLE = """
+include rip
+let nodes = 3
+let edges = {0n=1n; 1n=2n; 0n=2n}
+let trans e x = transRip e x
+let merge u x y = mergeRip u x y
+let init (u : node) = if u = 0n then Some 0u8 else None
+let assert (u : node) (x : rip) =
+  match x with
+  | None -> false
+  | Some h -> h <= 1u8
+"""
+
+
+def load(source: str) -> Network:
+    return Network.from_program(parse_program(source, resolve))
+
+
+def eval_nv(source: str, name: str = "main",
+            symbolics: dict[str, Any] | None = None,
+            num_nodes: int = 4,
+            edges: tuple[tuple[int, int], ...] = ((0, 1), (1, 2), (2, 3)),
+            ) -> Any:
+    """Type check and evaluate a small NV program, returning the value of the
+    declaration called ``name``."""
+    program = parse_program(source, resolve)
+    check_program(program)
+    interp = Interpreter(MapContext(num_nodes, edges))
+    env = program_env(program, interp, symbolics)
+    return env[name]
+
+
+def eval_expr_src(expr_src: str, **kwargs: Any) -> Any:
+    """Evaluate one NV expression (wrapped in a main declaration)."""
+    return eval_nv(f"let main = {expr_src}", **kwargs)

@@ -1,0 +1,76 @@
+"""Printer tests: output parses back to an equivalent AST (round-trip)."""
+
+import pytest
+
+from repro.lang import ast as A
+from repro.lang.parser import parse_expr, parse_program
+from repro.lang.printer import print_expr, print_program
+from repro.protocols import resolve
+
+EXPRESSIONS = [
+    "true",
+    "5u8",
+    "3n",
+    "None",
+    "Some 5",
+    "(1, 2)",
+    "a + b",
+    "a - 1u8",
+    "a && b || c",
+    "!a",
+    "a <> b",
+    "a < b",
+    "b.length",
+    "x.0",
+    "{length = 0; lp = 100}",
+    "{b with length = 1}",
+    "if a then 1 else 2",
+    "let x = 1 in x + x",
+    "fun x -> x",
+    "f x y",
+    "m[3]",
+    "m[3 := true]",
+    "createDict false",
+    "map f m",
+    "mapIte p f g m",
+    "combine f a b",
+    "match x with | None -> 0 | Some v -> v",
+    "let (u, v) = e in u",
+]
+
+
+def normalize(e: A.Expr) -> str:
+    """Structural fingerprint ignoring spans and type annotations."""
+    parts = [type(e).__name__]
+    for attr in ("name", "value", "width", "label", "index", "op", "param", "src", "dst"):
+        if hasattr(e, attr):
+            parts.append(f"{attr}={getattr(e, attr)!r}")
+    if isinstance(e, A.EMatch):
+        parts.append("pats=" + ";".join(str(p) for p, _ in e.branches))
+    if isinstance(e, (A.ERecord, A.ERecordWith)):
+        fields = e.fields if isinstance(e, A.ERecord) else e.updates
+        parts.append("labels=" + ",".join(n for n, _ in fields))
+    children = ",".join(normalize(c) for c in e.children())
+    return f"{'|'.join(parts)}({children})"
+
+
+@pytest.mark.parametrize("src", EXPRESSIONS)
+def test_expr_roundtrip(src):
+    e1 = parse_expr(src)
+    printed = print_expr(e1)
+    e2 = parse_expr(printed)
+    assert normalize(e1) == normalize(e2), printed
+
+
+def test_program_roundtrip():
+    from tests.helpers import FIG2_NETWORK
+    p1 = parse_program(FIG2_NETWORK, resolve)
+    printed = print_program(p1)
+    p2 = parse_program(printed, resolve)
+    lets1 = [d.name for d in p1.decls if isinstance(d, A.DLet)]
+    lets2 = [d.name for d in p2.decls if isinstance(d, A.DLet)]
+    assert lets1 == lets2
+    assert p1.nodes == p2.nodes
+    assert p1.edges == p2.edges
+    for name in lets1:
+        assert normalize(p1.get_let(name).expr) == normalize(p2.get_let(name).expr)

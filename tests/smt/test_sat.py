@@ -1,0 +1,103 @@
+"""SAT solver tests: crafted instances and random CNF cross-checked against
+brute force."""
+
+import itertools
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.smt.sat import SatSolver, _luby
+
+
+class TestCraftedInstances:
+    def test_empty_is_sat(self):
+        assert SatSolver(3, []).solve() is True
+
+    def test_unit_propagation(self):
+        s = SatSolver(2, [(1,), (-1, 2)])
+        assert s.solve() is True
+        assert s.model_value(1) and s.model_value(2)
+
+    def test_contradictory_units(self):
+        assert SatSolver(1, [(1,), (-1,)]).solve() is False
+
+    def test_empty_clause(self):
+        assert SatSolver(1, [()]).solve() is False
+
+    def test_tautology_dropped(self):
+        s = SatSolver(2, [(1, -1)])
+        assert s.solve() is True
+
+    def test_duplicate_literals(self):
+        s = SatSolver(1, [(1, 1, 1)])
+        assert s.solve() is True and s.model_value(1)
+
+    def test_simple_unsat_chain(self):
+        # x1, x1->x2, x2->x3, ~x3
+        s = SatSolver(3, [(1,), (-1, 2), (-2, 3), (-3,)])
+        assert s.solve() is False
+
+    def test_xor_chain_sat(self):
+        # (a xor b) and (b xor c) encoded in CNF, satisfiable.
+        clauses = [(1, 2), (-1, -2), (2, 3), (-2, -3)]
+        s = SatSolver(3, clauses)
+        assert s.solve() is True
+        a, b, c = (s.model_value(v) for v in (1, 2, 3))
+        assert (a ^ b) and (b ^ c)
+
+    def test_pigeonhole_4_3_unsat(self):
+        clauses = []
+        def var(i, j):
+            return i * 3 + j + 1
+        for i in range(4):
+            clauses.append(tuple(var(i, j) for j in range(3)))
+        for j in range(3):
+            for i1 in range(4):
+                for i2 in range(i1 + 1, 4):
+                    clauses.append((-var(i1, j), -var(i2, j)))
+        assert SatSolver(12, clauses).solve() is False
+
+    def test_conflict_budget_returns_none(self):
+        clauses = []
+        def var(i, j):
+            return i * 6 + j + 1
+        for i in range(7):
+            clauses.append(tuple(var(i, j) for j in range(6)))
+        for j in range(6):
+            for i1 in range(7):
+                for i2 in range(i1 + 1, 7):
+                    clauses.append((-var(i1, j), -var(i2, j)))
+        s = SatSolver(42, clauses)
+        assert s.solve(max_conflicts=5) is None
+
+
+def brute_force(num_vars, clauses):
+    for bits in itertools.product((False, True), repeat=num_vars):
+        ok = True
+        for clause in clauses:
+            if not any(bits[abs(l) - 1] == (l > 0) for l in clause):
+                ok = False
+                break
+        if ok:
+            return True
+    return False
+
+
+@given(st.lists(
+    st.lists(st.sampled_from([1, -1, 2, -2, 3, -3, 4, -4, 5, -5]),
+             min_size=1, max_size=3).map(tuple),
+    max_size=14))
+@settings(max_examples=120, deadline=None)
+def test_random_cnf_matches_brute_force(clauses):
+    expected = brute_force(5, clauses)
+    solver = SatSolver(5, clauses)
+    got = solver.solve()
+    assert got == expected
+    if got:
+        # The returned model must satisfy every clause.
+        for clause in clauses:
+            assert any(solver.model_value(abs(l)) == (l > 0) for l in clause)
+
+
+def test_luby_sequence():
+    assert [_luby(i) for i in range(10)] == [1, 1, 2, 1, 1, 2, 4, 1, 1, 2]

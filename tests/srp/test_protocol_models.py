@@ -1,0 +1,133 @@
+"""Semantic tests for the protocol model library (repro.protocols)."""
+
+import pytest
+
+import repro
+from repro.eval.values import VSome
+from tests.helpers import eval_nv
+
+
+class TestOspf:
+    OSPF_NET = """
+include ospf
+let nodes = 4
+let edges = {0n=1n; 1n=3n; 0n=2n; 2n=3n}
+
+// Link weights: top path 1+10, bottom path 2+2.
+let cost (e : edge) =
+  let (u, v) = e in
+  if (u = 0n && v = 1n) || (u = 1n && v = 0n) then 1
+  else if (u = 1n && v = 3n) || (u = 3n && v = 1n) then 10
+  else 2
+
+let trans (e : edge) (x : attributeO) = transOspf (cost e) true x
+let merge u x y = mergeOspf u x y
+let init (u : node) =
+  if u = 0n then Some {cost = 0; areaType = 0u2; originO = 0n} else None
+"""
+
+    def test_weighted_shortest_path(self):
+        net = repro.load(self.OSPF_NET)
+        labels = repro.simulate(net).solution.labels
+        # Node 3: bottom path costs 4, top path costs 11.
+        assert labels[3].value.get("cost") == 4
+        assert labels[1].value.get("cost") == 1
+        assert labels[2].value.get("cost") == 2
+
+    def test_intra_area_preferred_over_inter(self):
+        src = """
+include ospf
+let a = Some {cost = 50; areaType = 0u2; originO = 0n}
+let b = Some {cost = 1; areaType = 1u2; originO = 0n}
+let main = mergeOspf 1n a b
+"""
+        # Intra-area wins regardless of cost (areaType 0 < 1).
+        assert eval_nv(src).value.get("areaType") == 0
+
+    def test_inter_area_transfer_rewrites_type(self):
+        src = """
+include ospf
+let main = transOspf 5 false (Some {cost = 3; areaType = 0u2; originO = 0n})
+"""
+        out = eval_nv(src).value
+        assert out.get("cost") == 8
+        assert out.get("areaType") == 1
+
+
+class TestStatic:
+    def test_statics_never_propagate(self):
+        src = """
+include static
+let main = transStatic (0n, 1n) (Some {ad = 1u8; nextHop = 2n})
+"""
+        assert eval_nv(src) is None
+
+    def test_lower_ad_wins(self):
+        src = """
+include static
+let a = Some {ad = 5u8; nextHop = 1n}
+let b = Some {ad = 1u8; nextHop = 2n}
+let main = mergeStatic 0n a b
+"""
+        assert eval_nv(src).value.get("ad") == 1
+
+
+class TestRip:
+    def test_horizon(self):
+        src = "include rip\nlet main = transRip (0n, 1n) (Some 15u8)"
+        assert eval_nv(src) is None
+
+    def test_increment(self):
+        src = "include rip\nlet main = transRip (0n, 1n) (Some 3u8)"
+        assert eval_nv(src) == VSome(4)
+
+
+class TestBgpNarrow:
+    def test_narrow_and_wide_agree(self):
+        """The int8 model must make the same decisions as the canonical one
+        on in-range values (the SMT benchmarks rely on this)."""
+        template = """
+include {module}
+let a = Some {{length={l1}{sfx}; lp=100{sfx}; med=10{sfx}; comms={{}}; origin=1n}}
+let b = Some {{length={l2}{sfx}; lp=100{sfx}; med=90{sfx}; comms={{}}; origin=2n}}
+let main = isBetter a b
+"""
+        for l1, l2 in ((1, 5), (5, 1), (3, 3)):
+            wide = eval_nv(template.format(module="bgp", sfx="", l1=l1, l2=l2))
+            narrow = eval_nv(template.format(module="bgpNarrow", sfx="u8",
+                                             l1=l1, l2=l2))
+            assert wide == narrow, (l1, l2)
+
+
+class TestSimulationDriver:
+    def test_backend_selection(self):
+        from tests.helpers import RIP_TRIANGLE
+        net = repro.load(RIP_TRIANGLE)
+        interp = repro.simulate(net, backend="interp")
+        native = repro.simulate(net, backend="native")
+        assert interp.solution.labels == [VSome(0), VSome(1), VSome(1)]
+        assert native.solution.labels == interp.solution.labels
+        assert interp.backend == "interp" and native.backend == "native"
+
+    def test_unknown_backend_rejected(self):
+        from tests.helpers import RIP_TRIANGLE
+        net = repro.load(RIP_TRIANGLE)
+        with pytest.raises(ValueError):
+            repro.simulate(net, backend="quantum")
+
+    def test_report_summary_mentions_violations(self):
+        src = """
+include rip
+let nodes = 2
+let edges = {0n=1n}
+let trans e x = transRip e x
+let merge u x y = mergeRip u x y
+let init (u : node) = if u = 0n then Some 0u8 else None
+let assert (u : node) (x : rip) =
+  match x with
+  | None -> false
+  | Some h -> h = 0u8
+"""
+        report = repro.simulate(repro.load(src))
+        assert report.violations == [1]
+        assert "violate" in report.summary()

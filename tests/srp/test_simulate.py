@@ -1,0 +1,140 @@
+"""Simulator tests: convergence, stability, incremental merge, divergence."""
+
+import pytest
+
+from repro.eval.values import VSome
+from repro.lang.errors import NvRuntimeError
+from repro.srp.network import NetworkFunctions, functions_from_program
+from repro.srp.simulate import is_stable, simulate
+from tests.helpers import FIG2_NETWORK, RIP_TRIANGLE, load
+
+
+def rip_funcs():
+    return functions_from_program(load(RIP_TRIANGLE))
+
+
+class TestBasicConvergence:
+    def test_triangle_hop_counts(self):
+        sol = simulate(rip_funcs())
+        assert sol.labels[0] == VSome(0)
+        assert sol.labels[1] == VSome(1)
+        assert sol.labels[2] == VSome(1)
+
+    def test_solution_is_stable(self):
+        funcs = rip_funcs()
+        sol = simulate(funcs)
+        assert is_stable(funcs, sol.labels)
+
+    def test_perturbed_labels_not_stable(self):
+        funcs = rip_funcs()
+        sol = simulate(funcs)
+        labels = list(sol.labels)
+        labels[1] = VSome(7)
+        assert not is_stable(funcs, labels)
+
+    def test_assertions_checked(self):
+        funcs = rip_funcs()
+        sol = simulate(funcs)
+        assert sol.check_assertions(funcs.assert_fn) == []
+
+    def test_fig2_without_hijack(self):
+        net = load(FIG2_NETWORK)
+        funcs = functions_from_program(net, symbolics={"route": None})
+        sol = simulate(funcs)
+        assert sol.check_assertions(funcs.assert_fn) == []
+        # Path lengths: 0 at dest, 1 at its peers, 2 at the rest.
+        lengths = [sol.labels[u].value.get("length") for u in range(5)]
+        assert lengths == [0, 1, 1, 2, 2]
+
+
+class TestChainNetwork:
+    def make_chain(self, n):
+        edges = "; ".join(f"{i}n={i+1}n" for i in range(n - 1))
+        src = f"""
+include rip
+let nodes = {n}
+let edges = {{{edges}}}
+let trans e x = transRip e x
+let merge u x y = mergeRip u x y
+let init (u : node) = if u = 0n then Some 0u8 else None
+"""
+        return functions_from_program(load(src))
+
+    def test_chain_distances(self):
+        sol = simulate(self.make_chain(6))
+        for u in range(6):
+            assert sol.labels[u] == VSome(u)
+
+    def test_rip_horizon_drops_routes(self):
+        # Nodes beyond 15 hops never hear a route (RIP's infinity).
+        sol = simulate(self.make_chain(20))
+        assert sol.labels[15] == VSome(15)
+        assert sol.labels[16] is None
+        assert sol.labels[19] is None
+
+
+class TestIncrementalMerge:
+    def test_same_result_both_modes(self):
+        funcs = rip_funcs()
+        sol_inc = simulate(funcs, incremental=True)
+        funcs2 = rip_funcs()
+        sol_full = simulate(funcs2, incremental=False)
+        assert sol_inc.labels == sol_full.labels
+
+    def test_fig2_same_result_both_modes(self):
+        from repro.eval.maps import MapContext
+        net = load(FIG2_NETWORK)
+        ctx = MapContext(net.num_nodes, net.edges)  # shared: canonical maps
+        f1 = functions_from_program(net, symbolics={"route": None}, ctx=ctx)
+        f2 = functions_from_program(net, symbolics={"route": None}, ctx=ctx)
+        assert simulate(f1, incremental=True).labels == \
+            simulate(f2, incremental=False).labels
+
+
+class TestStaleRoutes:
+    def test_withdrawal_via_stale_route(self):
+        """A node that improves its route forces downstream recomputation;
+        the received-table bookkeeping must handle the stale entries."""
+        # Diamond: 0-1, 0-2, 1-3, 2-3 with asymmetric processing order.
+        src = """
+include rip
+let nodes = 4
+let edges = {0n=1n; 0n=2n; 1n=3n; 2n=3n}
+let trans e x = transRip e x
+let merge u x y = mergeRip u x y
+let init (u : node) = if u = 0n then Some 0u8 else None
+"""
+        funcs = functions_from_program(load(src))
+        sol = simulate(funcs)
+        assert sol.labels == [VSome(0), VSome(1), VSome(1), VSome(2)]
+        assert is_stable(funcs, sol.labels)
+
+
+class TestDivergence:
+    def test_divergent_network_detected(self):
+        """A malformed merge that always prefers the *newer* longer route
+        never converges; the simulator must raise, not loop forever."""
+
+        def init(u):
+            return 0 if u == 0 else None
+
+        def trans(edge, x):
+            return None if x is None else x + 1
+
+        def merge(u, x, y):
+            # Pathological: strictly prefer larger values -> count to infinity.
+            if x is None:
+                return y
+            if y is None:
+                return x
+            return max(x, y)
+
+        funcs = NetworkFunctions(3, ((0, 1), (1, 0), (1, 2), (2, 1), (0, 2), (2, 0)),
+                                 init, trans, merge)
+        with pytest.raises(NvRuntimeError):
+            simulate(funcs, max_iterations=500)
+
+    def test_messages_counted(self):
+        sol = simulate(rip_funcs())
+        assert sol.messages > 0
+        assert sol.iterations >= 3

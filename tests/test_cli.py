@@ -1,0 +1,109 @@
+"""CLI tests: every subcommand end to end on temporary files."""
+
+import pytest
+
+from repro.cli import main
+from tests.helpers import FIG2_NETWORK, RIP_TRIANGLE
+
+
+@pytest.fixture
+def triangle_file(tmp_path):
+    f = tmp_path / "triangle.nv"
+    f.write_text(RIP_TRIANGLE)
+    return str(f)
+
+
+@pytest.fixture
+def fig2_file(tmp_path):
+    f = tmp_path / "fig2.nv"
+    f.write_text(FIG2_NETWORK)
+    return str(f)
+
+
+class TestSimulate:
+    def test_ok(self, triangle_file, capsys):
+        assert main(["simulate", triangle_file, "--show-routes"]) == 0
+        out = capsys.readouterr().out
+        assert "node 0: Some 0" in out
+
+    def test_native_backend(self, triangle_file):
+        assert main(["simulate", triangle_file, "--native"]) == 0
+
+    def test_symbolic_binding(self, fig2_file):
+        assert main(["simulate", fig2_file, "--symbolic", "route=None"]) == 0
+
+    def test_violations_exit_code(self, tmp_path):
+        f = tmp_path / "bad.nv"
+        f.write_text(RIP_TRIANGLE.replace("h <= 1u8", "h <= 0u8"))
+        assert main(["simulate", str(f)]) == 1
+
+
+class TestVerify:
+    def test_verified(self, triangle_file, capsys):
+        assert main(["verify", triangle_file]) == 0
+        assert "verified" in capsys.readouterr().out
+
+    def test_counterexample(self, fig2_file, capsys):
+        assert main(["verify", fig2_file, "--show-routes"]) == 1
+        out = capsys.readouterr().out
+        assert "symbolic route" in out
+
+
+class TestFault:
+    def test_tolerant(self, tmp_path, capsys):
+        f = tmp_path / "tri.nv"
+        f.write_text(RIP_TRIANGLE.replace("h <= 1u8", "h <= 2u8"))
+        assert main(["fault", str(f)]) == 0
+        assert "FAULT TOLERANT" in capsys.readouterr().out
+
+    def test_witnesses(self, tmp_path, capsys):
+        f = tmp_path / "chain.nv"
+        f.write_text("""
+include rip
+let nodes = 3
+let edges = {0n=1n; 1n=2n}
+let trans e x = transRip e x
+let merge u x y = mergeRip u x y
+let init (u : node) = if u = 0n then Some 0u8 else None
+let assert (u : node) (x : rip) =
+  match x with | None -> false | Some h -> true
+""")
+        assert main(["fault", str(f), "--witnesses"]) == 1
+        assert "failure scenario" in capsys.readouterr().out
+
+
+class TestTranslate:
+    def test_directory_translation(self, tmp_path, capsys):
+        (tmp_path / "a.cfg").write_text("""
+interface E0
+ ip address 10.0.0.1/30
+interface Loop0
+ ip address 192.168.1.0/24
+router bgp 1
+ network 192.168.1.0/24
+ neighbor 10.0.0.2 remote-as 2
+""")
+        (tmp_path / "b.cfg").write_text("""
+interface E0
+ ip address 10.0.0.2/30
+router bgp 2
+ neighbor 10.0.0.1 remote-as 1
+""")
+        out_file = tmp_path / "net.nv"
+        assert main(["translate", str(tmp_path),
+                     "--assert-prefix", "192.168.1.0/24",
+                     "-o", str(out_file)]) == 0
+        # The emitted program is a valid, verifiable NV network.
+        assert main(["verify", str(out_file)]) == 0
+
+    def test_empty_directory(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["translate", str(tmp_path)])
+
+
+class TestErrors:
+    def test_nv_error_reported(self, tmp_path, capsys):
+        f = tmp_path / "broken.nv"
+        f.write_text("let nodes = ")
+        assert main(["simulate", str(f)]) == 3
+        assert "error:" in capsys.readouterr().err

@@ -1,0 +1,130 @@
+"""Topology generator tests: fat-tree structure, WAN properties, programs."""
+
+import pytest
+
+from repro.topology import (Topology, all_prefixes_program, fat_program,
+                            fattree, leaf_nodes, sp_program, uscarrier_like,
+                            wan_program)
+from repro.topology.fattree import layer_bounds
+from tests.helpers import load
+
+
+class TestTopologyBasics:
+    def test_duplicate_link_rejected(self):
+        with pytest.raises(ValueError):
+            Topology(3, [(0, 1), (1, 0)])
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(ValueError):
+            Topology(3, [(1, 1)])
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            Topology(2, [(0, 5)])
+
+    def test_connectivity(self):
+        assert Topology(3, [(0, 1), (1, 2)]).is_connected()
+        assert not Topology(3, [(0, 1)]).is_connected()
+
+
+class TestFatTree:
+    @pytest.mark.parametrize("k", [2, 4, 6, 8])
+    def test_paper_size_formulas(self, k):
+        topo = fattree(k)
+        assert topo.num_nodes == (5 * k * k) // 4   # paper footnote 4
+        assert topo.num_links == (k ** 3) // 2      # k^3 directed edges
+        assert topo.is_connected()
+
+    def test_roles(self):
+        topo = fattree(4)
+        agg0, core0 = layer_bounds(4)
+        for u in range(topo.num_nodes):
+            expected = "edge" if u < agg0 else ("agg" if u < core0 else "core")
+            assert topo.roles[u] == expected
+
+    def test_odd_k_rejected(self):
+        with pytest.raises(ValueError):
+            fattree(3)
+
+    def test_edge_switch_degree(self):
+        k = 4
+        topo = fattree(k)
+        adj = topo.adjacency()
+        for u in leaf_nodes(k):
+            assert len(adj[u]) == k // 2  # ToR connects to its pod's aggs
+
+    def test_core_degree(self):
+        k = 4
+        topo = fattree(k)
+        adj = topo.adjacency()
+        _, core0 = layer_bounds(k)
+        for u in range(core0, topo.num_nodes):
+            assert len(adj[u]) == k  # each core connects to every pod once
+
+
+class TestGeneratedPrograms:
+    @pytest.mark.parametrize("maker", [sp_program, fat_program])
+    def test_single_prefix_typechecks(self, maker):
+        net = load(maker(4))
+        assert net.num_nodes == 20
+        assert len(net.edges) == 64
+
+    def test_all_prefixes_typechecks(self):
+        net = load(all_prefixes_program(4, "sp"))
+        from repro.lang import types as T
+        assert isinstance(net.attr_ty, T.TDict)
+
+    def test_fat_policy_blocks_valleys(self):
+        """With valley protection, a route that went down must not go up:
+        simulate and verify no route's path length exceeds the valley-free
+        bound (4 hops in a fat tree)."""
+        from repro.srp.network import functions_from_program
+        from repro.srp.simulate import simulate
+        net = load(fat_program(4))
+        sol = simulate(functions_from_program(net))
+        for u in range(net.num_nodes):
+            route = sol.labels[u]
+            assert route is not None
+            assert route.value.get("length") <= 4
+
+
+class TestCarrierWan:
+    def test_default_matches_paper_size(self):
+        topo = uscarrier_like()
+        assert topo.num_nodes == 174
+        assert topo.num_links == 410
+        assert topo.is_connected()
+
+    def test_deterministic(self):
+        t1 = uscarrier_like(60, 100)
+        t2 = uscarrier_like(60, 100)
+        assert t1.links == t2.links
+
+    def test_different_seeds_differ(self):
+        t1 = uscarrier_like(60, 100, seed=1)
+        t2 = uscarrier_like(60, 100, seed=2)
+        assert t1.links != t2.links
+
+    def test_wan_program_converges(self):
+        from repro.srp.network import functions_from_program
+        from repro.srp.simulate import simulate
+        topo = uscarrier_like(30, 45)
+        net = load(wan_program(topo))
+        funcs = functions_from_program(net)
+        sol = simulate(funcs)
+        assert sol.check_assertions(funcs.assert_fn) == []
+
+    def test_wan_policy_is_asymmetric(self):
+        """The MED tweaks must actually change some node's selected route
+        relative to plain shortest-path."""
+        from repro.srp.network import functions_from_program
+        from repro.srp.simulate import simulate
+        topo = uscarrier_like(30, 45)
+        src_policy = wan_program(topo)
+        # Plain SP: drop the preference lines by replacing med with same value
+        src_plain = src_policy.replace("Some {b with med = 10}", "Some b")
+        meds_policy = [r.value.get("med") for r in
+                       simulate(functions_from_program(load(src_policy))).labels]
+        meds_plain = [r.value.get("med") for r in
+                      simulate(functions_from_program(load(src_plain))).labels]
+        assert meds_policy != meds_plain

@@ -1,0 +1,184 @@
+"""Map unrolling tests (paper §5.2): dict ops become tuple ops, and the
+unrolled program computes the same results."""
+
+import pytest
+
+from repro.eval.interp import Interpreter, program_env
+from repro.eval.maps import MapContext, NVMap
+from repro.lang import ast as A
+from repro.lang import types as T
+from repro.lang.errors import NvTransformError
+from repro.lang.parser import parse_program
+from repro.lang.typecheck import check_program
+from repro.protocols import resolve
+from repro.srp.network import Network, functions_from_program
+from repro.srp.simulate import simulate
+from repro.transform.inline import inline_program
+from repro.transform.map_unrolling import collect_keys, unroll_program
+from repro.topology import fat_program
+
+EDGES = ((0, 1), (1, 0))
+
+
+def run_both(src: str, name: str = "main"):
+    """Evaluate ``name`` in the original and the unrolled program."""
+    program = parse_program(src, resolve)
+    check_program(program)
+    ctx = MapContext(2, EDGES)
+    base = program_env(program, Interpreter(ctx))[name]
+
+    inlined = inline_program(program, keep={name})
+    check_program(inlined)
+    unrolled = unroll_program(inlined)
+    check_program(unrolled)
+    after = program_env(unrolled, Interpreter(ctx))[name]
+    return base, after, unrolled
+
+
+class TestKeyCollection:
+    def test_constant_keys_collected(self):
+        src = """
+let m = (createDict 0)[3u8 := 1][7u8 := 2]
+let x = m[3u8]
+"""
+        program = parse_program(src)
+        check_program(program)
+        keys = collect_keys(program)
+        assert sorted(keys[T.TInt(8)]) == [3, 7]
+
+    def test_keys_grouped_by_type(self):
+        src = """
+let m1 = (createDict 0)[3u8 := 1]
+let m2 = (createDict false)[2n := true]
+"""
+        program = parse_program(src)
+        check_program(program)
+        keys = collect_keys(program)
+        assert keys[T.TInt(8)] == [3]
+        assert keys[T.TNode()] == [2]
+
+
+class TestSemantics:
+    def test_get_set_roundtrip(self):
+        base, after, _ = run_both("""
+let m = (createDict 0)[3u8 := 10][7u8 := 20]
+let main = m[3u8] + m[7u8] + m[5u8]
+""")
+        # Untracked key 5 is read: it becomes tracked, reading the default.
+        assert base == after == 30
+
+    def test_overwrite(self):
+        base, after, _ = run_both("""
+let m = (createDict 0)[3u8 := 10][3u8 := 99]
+let main = m[3u8]
+""")
+        assert base == after == 99
+
+    def test_map_op(self):
+        base, after, _ = run_both("""
+let m = (createDict 1)[2u8 := 5]
+let m2 = map (fun v -> v + v) m
+let main = m2[2u8] + m2[9u8]
+""")
+        assert base == after == 12
+
+    def test_combine(self):
+        base, after, _ = run_both("""
+let m1 = (createDict 1)[2u8 := 5]
+let m2 = (createDict 10)[2u8 := 50]
+let m3 = combine (fun a b -> a + b) m1 m2
+let main = m3[2u8] + m3[4u8]
+""")
+        assert base == after == 66
+
+    def test_mapite_constant_predicate_regions(self):
+        base, after, _ = run_both("""
+let m = (createDict 0)[2u8 := 5][9u8 := 7]
+let m2 = mapIte (fun k -> k < 5u8) (fun v -> v + 1) (fun v -> v) m
+let main = (m2[2u8], m2[9u8])
+""")
+        assert base == after == (6, 7)
+
+    def test_computed_key_get(self):
+        base, after, _ = run_both("""
+let pick = fun b -> if b then 2u8 else 9u8
+let m = (createDict 0)[2u8 := 5][9u8 := 7]
+let main = m[pick true] + m[pick false]
+""")
+        assert base == after == 12
+
+    def test_computed_key_set_rejected(self):
+        src = """
+let pick = fun b -> if b then 2u8 else 9u8
+let m = (createDict 0)[2u8 := 1]
+let main = (m[pick true := 9])[2u8]
+"""
+        program = parse_program(src)
+        check_program(program)
+        inlined = inline_program(program, keep={"main"})
+        check_program(inlined)
+        # Partial evaluation may fold `pick true` to a constant, which is
+        # fine; to pin the failure we keep it symbolic via a symbolic bool.
+        src2 = """
+symbolic b : bool
+let m = (createDict 0)[2u8 := 1]
+let key = if b then 2u8 else 9u8
+let main = (m[key := 9])[2u8]
+"""
+        program2 = parse_program(src2)
+        check_program(program2)
+        inlined2 = inline_program(program2, keep={"main"})
+        check_program(inlined2)
+        with pytest.raises(NvTransformError):
+            unroll_program(inlined2)
+
+
+class TestStructure:
+    def test_no_dicts_remain(self):
+        src = """
+let m = (createDict 0)[3u8 := 10]
+let main = m[3u8]
+"""
+        _, _, unrolled = run_both(src)
+
+        def no_map_ops(e: A.Expr) -> bool:
+            if isinstance(e, A.EOp) and e.op.startswith("m") and e.op != "eq":
+                return False
+            return all(no_map_ops(c) for c in e.children())
+
+        for d in unrolled.decls:
+            if isinstance(d, A.DLet):
+                assert no_map_ops(d.expr)
+
+    def test_unrolled_type_arity(self):
+        from repro.transform.map_unrolling import MapUnroller
+        unroller = MapUnroller({T.TInt(8): [3, 7]})
+        ty = unroller.unroll_type(T.TDict(T.TInt(8), T.TBool()))
+        assert ty == T.TTuple((T.TBool(), T.TBool(), T.TBool()))
+
+
+class TestNetworkLevel:
+    def test_fat4_unrolled_simulates_identically(self):
+        """The FAT policy reads/writes community 1: after unrolling, comms
+        becomes a pair (slot for 1, default) and the network must converge to
+        the same routes."""
+        program = parse_program(fat_program(4), resolve)
+        net1 = Network.from_program(program)
+        sol1 = simulate(functions_from_program(net1))
+
+        inlined = inline_program(program)
+        check_program(inlined)
+        unrolled = unroll_program(inlined)
+        net2 = Network.from_program(unrolled)
+        sol2 = simulate(functions_from_program(net2))
+
+        for a, b in zip(sol1.labels, sol2.labels):
+            assert (a is None) == (b is None)
+            if a is not None:
+                ra, rb = a.value, b.value
+                for field in ("length", "lp", "med", "origin"):
+                    assert ra.get(field) == rb.get(field)
+                # comms map became a tuple: slot 0 tracks community 1.
+                comms = rb.get("comms")
+                assert isinstance(comms, tuple) and len(comms) == 2
+                assert ra.get("comms").get(1) == comms[0]

@@ -1,0 +1,111 @@
+"""Property-based semantic-preservation tests.
+
+Random well-typed NV expressions are generated structurally (a small typed
+AST generator), then evaluated through: the plain interpreter, the partial
+evaluator + interpreter, and the compiled backend.  All three must agree —
+the core soundness property of the paper's transformation pipeline.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.eval.compile_py import PyCompiler
+from repro.eval.interp import Interpreter, program_env
+from repro.eval.maps import MapContext
+from repro.lang import ast as A
+from repro.lang.parser import parse_program
+from repro.lang.printer import print_expr
+from repro.lang.typecheck import check_program
+from repro.transform.inline import inline_program
+from repro.transform.partial_eval import partial_eval_program
+
+# ---------------------------------------------------------------------------
+# A generator of well-typed expression *sources* of type int8, over an
+# environment {a, b : int8; p, q : bool; o : option[int8]}.
+# ---------------------------------------------------------------------------
+
+INT_LEAVES = ["a", "b", "3u8", "0u8", "255u8", "17u8"]
+BOOL_LEAVES = ["p", "q", "true", "false"]
+
+
+def int_expr(depth: int) -> st.SearchStrategy[str]:
+    if depth == 0:
+        return st.sampled_from(INT_LEAVES)
+    sub = int_expr(depth - 1)
+    boolean = bool_expr(depth - 1)
+    return st.one_of(
+        st.sampled_from(INT_LEAVES),
+        st.tuples(sub, sub).map(lambda t: f"({t[0]} + {t[1]})"),
+        st.tuples(sub, sub).map(lambda t: f"({t[0]} - {t[1]})"),
+        st.tuples(boolean, sub, sub).map(
+            lambda t: f"(if {t[0]} then {t[1]} else {t[2]})"),
+        sub.map(lambda s: f"(let x = {s} in x + x)"),
+        st.tuples(sub, sub).map(
+            lambda t: f"(match o with | None -> {t[0]} | Some v -> v + {t[1]})"),
+    )
+
+
+def bool_expr(depth: int) -> st.SearchStrategy[str]:
+    if depth == 0:
+        return st.sampled_from(BOOL_LEAVES)
+    sub = bool_expr(depth - 1)
+    ints = int_expr(depth - 1)
+    return st.one_of(
+        st.sampled_from(BOOL_LEAVES),
+        st.tuples(sub, sub).map(lambda t: f"({t[0]} && {t[1]})"),
+        st.tuples(sub, sub).map(lambda t: f"({t[0]} || {t[1]})"),
+        sub.map(lambda s: f"(!{s})"),
+        st.tuples(ints, ints).map(lambda t: f"({t[0]} < {t[1]})"),
+        st.tuples(ints, ints).map(lambda t: f"({t[0]} = {t[1]})"),
+    )
+
+
+ENVIRONMENTS = st.tuples(
+    st.integers(0, 255), st.integers(0, 255), st.booleans(), st.booleans(),
+    st.one_of(st.none(), st.integers(0, 255)))
+
+
+def build_program(body: str) -> str:
+    return f"""
+symbolic a : int8
+symbolic b : int8
+symbolic p : bool
+symbolic q : bool
+symbolic o : option[int8]
+let main = {body}
+"""
+
+
+@given(int_expr(3), ENVIRONMENTS)
+@settings(max_examples=120, deadline=None)
+def test_partial_eval_preserves_semantics(body, env_values):
+    from repro.eval.values import VSome
+    a, b, p, q, o = env_values
+    symbolics = {"a": a, "b": b, "p": p, "q": q,
+                 "o": None if o is None else VSome(o)}
+    program = parse_program(build_program(body))
+    check_program(program)
+    ctx = MapContext(2, ((0, 1), (1, 0)))
+    base = program_env(program, Interpreter(ctx), symbolics)["main"]
+
+    transformed = partial_eval_program(inline_program(program, keep={"main"}))
+    check_program(transformed)
+    after = program_env(transformed, Interpreter(ctx), symbolics)["main"]
+    assert base == after, print_expr(transformed.get_let("main").expr)
+
+
+@given(int_expr(3), ENVIRONMENTS)
+@settings(max_examples=60, deadline=None)
+def test_compiler_matches_interpreter(body, env_values):
+    from repro.eval.values import VSome
+    a, b, p, q, o = env_values
+    symbolics = {"a": a, "b": b, "p": p, "q": q,
+                 "o": None if o is None else VSome(o)}
+    program = parse_program(build_program(body))
+    check_program(program)
+    ctx = MapContext(2, ((0, 1), (1, 0)))
+    interp_value = program_env(program, Interpreter(ctx), symbolics)["main"]
+    compiled_value = PyCompiler(ctx).compile_program(program, symbolics).env["main"]
+    assert interp_value == compiled_value
