@@ -16,11 +16,12 @@ sizes per failure budget, and the WAN's sharply worse 2- and 3-failure times
 
 import pytest
 
+from conftest import sizes
 from repro.analysis.fault import fault_tolerance_analysis
 from repro.topology import sp_program, uscarrier_like, wan_program
 
-FATTREE_CASES = [(k, f) for k in (4, 6, 8) for f in (1, 2)]
-WAN_CASES = [1, 2, 3]
+FATTREE_CASES = sizes([(k, f) for k in (4, 6, 8) for f in (1, 2)])
+WAN_CASES = sizes([1, 2, 3])
 
 
 @pytest.mark.parametrize("k,failures", FATTREE_CASES,

@@ -28,7 +28,9 @@ from repro.srp.network import functions_from_program
 from repro.srp.simulate import simulate
 from repro.topology import all_prefixes_program, fattree, leaf_nodes
 
-SIZES = [4, 8, 12]
+from conftest import sizes
+
+SIZES = sizes([4, 8, 12])
 POLICY = "sp"
 
 

@@ -16,15 +16,46 @@ EXPERIMENTS.md records one full run and compares it against the paper.
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
+from repro import perf
 from repro.lang.parser import parse_program
 from repro.protocols import resolve
 from repro.srp.network import Network
 
+#: Quick mode (``NV_BENCH_QUICK=1``) shrinks every benchmark's problem sizes
+#: to the smallest instance — a CI smoke test that exercises the full
+#: pipeline (parse, compile, simulate, diagrams) in seconds.
+QUICK = os.environ.get("NV_BENCH_QUICK", "") not in ("", "0")
+
+
+def sizes(full: list, quick_count: int = 1) -> list:
+    """The benchmark's parameter list, truncated in quick mode."""
+    return full[:quick_count] if QUICK else full
+
 
 def load_network(source: str) -> Network:
     return Network.from_program(parse_program(source, resolve))
+
+
+@pytest.fixture(scope="session", autouse=True)
+def perf_counters():
+    """Collect :mod:`repro.perf` counters across the whole benchmark session;
+    the terminal summary prints them (cache hit rates, activations, SAT
+    conflicts) next to pytest-benchmark's timing table."""
+    perf.reset()
+    perf.enable()
+    yield
+    perf.disable()
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    snap = perf.snapshot()
+    if snap:
+        terminalreporter.write_line("")
+        terminalreporter.write_line(perf.report(snap))
 
 
 @pytest.fixture(scope="session")

@@ -16,6 +16,7 @@ from dataclasses import dataclass, field
 from time import perf_counter
 from typing import Any
 
+from .. import perf
 from ..eval.interp import Interpreter, program_env
 from ..eval.maps import MapContext, NVMap
 from ..lang import types as T
@@ -97,6 +98,12 @@ def fault_tolerance_analysis(net: Network,
     t0 = perf_counter()
     solution = simulate(funcs)
     simulate_seconds = perf_counter() - t0
+
+    # Flush the diagram-engine work counters for this run (fig 13b reports
+    # BDD op-cache hit rates alongside the scaling curve).
+    perf.merge(ctx.manager.stats(), prefix="bdd.")
+    perf.merge({"transform_seconds": transform_seconds,
+                "simulate_seconds": simulate_seconds}, prefix="fault.")
 
     # The base assertion lives on as `assertBase` in the transformed program.
     env = program_env(ft_net.program, interp, symbolics)

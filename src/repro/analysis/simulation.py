@@ -12,6 +12,7 @@ from dataclasses import dataclass
 from time import perf_counter
 from typing import Any
 
+from .. import perf
 from ..eval.compile_py import compile_network_functions
 from ..srp.network import Network, functions_from_program
 from ..srp.simulate import simulate
@@ -33,10 +34,26 @@ class SimulationReport:
     def summary(self) -> str:
         status = "assertions hold" if not self.violations else (
             f"{len(self.violations)} nodes violate the assertion")
-        return (f"[{self.backend}] {status}; setup {self.setup_seconds:.3f}s, "
-                f"simulate {self.simulate_seconds:.3f}s, "
-                f"{self.solution.iterations} activations, "
-                f"{self.solution.messages} messages")
+        lines = [(f"[{self.backend}] {status}; setup {self.setup_seconds:.3f}s, "
+                  f"simulate {self.simulate_seconds:.3f}s, "
+                  f"{self.solution.iterations} activations, "
+                  f"{self.solution.messages} messages")]
+        stats = self.solution.stats
+        if stats:
+            extras = []
+            for base, label in (("trans_cache", "trans memo"),
+                                ("merge_cache", "merge memo")):
+                rate = perf.hit_rate(stats, base)
+                if rate is not None:
+                    extras.append(f"{label} {rate:.1%}")
+            skipped = stats.get("skipped_activations")
+            if skipped:
+                extras.append(f"{skipped} skipped activations")
+            if extras:
+                lines.append("  cache: " + ", ".join(extras))
+        if perf.is_enabled():
+            lines.append(perf.report())
+        return "\n".join(lines)
 
 
 def run_simulation(net: Network, symbolics: dict[str, Any] | None = None,
@@ -61,6 +78,11 @@ def run_simulation(net: Network, symbolics: dict[str, Any] | None = None,
     t0 = perf_counter()
     solution = simulate(funcs, incremental=incremental)
     simulate_seconds = perf_counter() - t0
+
+    if funcs.ctx is not None:
+        perf.merge(funcs.ctx.manager.stats(), prefix="bdd.")
+    perf.merge({"setup_seconds": setup_seconds,
+                "simulate_seconds": simulate_seconds}, prefix="sim.")
 
     violations = solution.check_assertions(funcs.assert_fn)
     return SimulationReport(solution, backend, setup_seconds,

@@ -21,10 +21,28 @@ from typing import Any, Callable, Iterator
 LEAF_LEVEL = 1 << 30
 
 
-class BddManager:
-    """Owns a shared node store, unique table and operation caches."""
+_KEY_SHIFT = 30  # pack (a, b) node-id pairs into one int key: (a << 30) | b
 
-    def __init__(self) -> None:
+
+class BddManager:
+    """Owns a shared node store, unique table and operation caches.
+
+    Operation memo tables are split per operation and keyed by packed
+    integers (``(a << 30) | b``) rather than ``(op, a, b)`` tuples — the
+    tuple allocation and tuple hashing showed up as a measurable fraction of
+    simulation time on the fig 13/14 benchmark paths.  Each cache is capped
+    at ``op_cache_limit`` entries and simply cleared when full (memo tables
+    are semantically transparent, so clearing is always sound);
+    :meth:`clear_caches` drops them eagerly without touching the unique
+    tables, so hash-consed node identity survives.
+
+    Always-on counters (plain integer attributes, flushed into
+    :mod:`repro.perf` by the analysis drivers): ``op_hits``/``op_misses``
+    for the boolean operations, ``apply_hits``/``apply_misses`` for the
+    MTBDD leaf-function operations.
+    """
+
+    def __init__(self, op_cache_limit: int = 1 << 20) -> None:
         # Parallel arrays describing each node.
         self._level: list[int] = []
         self._lo: list[int] = []
@@ -33,8 +51,17 @@ class BddManager:
         # Hash-consing tables.
         self._unique: dict[tuple[int, int, int], int] = {}
         self._leaf_table: dict[Any, int] = {}
-        # Memo tables for the structural boolean operations.
-        self._op_cache: dict[tuple[Any, ...], int] = {}
+        # Per-operation memo tables with packed-int keys.
+        self.op_cache_limit = op_cache_limit
+        self._not_cache: dict[int, int] = {}
+        self._and_cache: dict[int, int] = {}
+        self._xor_cache: dict[int, int] = {}
+        self._ite_cache: dict[int, int] = {}
+        # Instrumentation (see repro.perf).
+        self.op_hits = 0
+        self.op_misses = 0
+        self.apply_hits = 0
+        self.apply_misses = 0
         self.false = self.leaf(False)
         self.true = self.leaf(True)
 
@@ -130,17 +157,21 @@ class BddManager:
     # ------------------------------------------------------------------
 
     def bnot(self, a: int) -> int:
-        key = ("not", a)
-        cached = self._op_cache.get(key)
+        cached = self._not_cache.get(a)
         if cached is not None:
+            self.op_hits += 1
             return cached
+        self.op_misses += 1
         if self.is_leaf(a):
             result = self.leaf(not self._leaf_value[a])
         else:
             result = self.mk(
                 self._level[a], self.bnot(self._lo[a]), self.bnot(self._hi[a])
             )
-        self._op_cache[key] = result
+        cache = self._not_cache
+        if len(cache) >= self.op_cache_limit:
+            cache.clear()
+        cache[a] = result
         return result
 
     def band(self, a: int, b: int) -> int:
@@ -154,16 +185,21 @@ class BddManager:
             return a
         if a > b:
             a, b = b, a
-        key = ("and", a, b)
-        cached = self._op_cache.get(key)
+        key = (a << _KEY_SHIFT) | b
+        cached = self._and_cache.get(key)
         if cached is not None:
+            self.op_hits += 1
             return cached
+        self.op_misses += 1
         la, lb = self._level[a], self._level[b]
         lvl = min(la, lb)
         a0, a1 = (self._lo[a], self._hi[a]) if la == lvl else (a, a)
         b0, b1 = (self._lo[b], self._hi[b]) if lb == lvl else (b, b)
         result = self.mk(lvl, self.band(a0, b0), self.band(a1, b1))
-        self._op_cache[key] = result
+        cache = self._and_cache
+        if len(cache) >= self.op_cache_limit:
+            cache.clear()
+        cache[key] = result
         return result
 
     def bor(self, a: int, b: int) -> int:
@@ -182,16 +218,21 @@ class BddManager:
             return self.bnot(a)
         if a > b:
             a, b = b, a
-        key = ("xor", a, b)
-        cached = self._op_cache.get(key)
+        key = (a << _KEY_SHIFT) | b
+        cached = self._xor_cache.get(key)
         if cached is not None:
+            self.op_hits += 1
             return cached
+        self.op_misses += 1
         la, lb = self._level[a], self._level[b]
         lvl = min(la, lb)
         a0, a1 = (self._lo[a], self._hi[a]) if la == lvl else (a, a)
         b0, b1 = (self._lo[b], self._hi[b]) if lb == lvl else (b, b)
         result = self.mk(lvl, self.bxor(a0, b0), self.bxor(a1, b1))
-        self._op_cache[key] = result
+        cache = self._xor_cache
+        if len(cache) >= self.op_cache_limit:
+            cache.clear()
+        cache[key] = result
         return result
 
     def bimplies(self, a: int, b: int) -> int:
@@ -208,16 +249,21 @@ class BddManager:
             return e
         if t == e:
             return t
-        key = ("ite", c, t, e)
-        cached = self._op_cache.get(key)
+        key = (((c << _KEY_SHIFT) | t) << _KEY_SHIFT) | e
+        cached = self._ite_cache.get(key)
         if cached is not None:
+            self.op_hits += 1
             return cached
+        self.op_misses += 1
         lvl = min(self._level[c], self._level[t], self._level[e])
         c0, c1 = self._cof(c, lvl)
         t0, t1 = self._cof(t, lvl)
         e0, e1 = self._cof(e, lvl)
         result = self.mk(lvl, self.bite(c0, t0, e0), self.bite(c1, t1, e1))
-        self._op_cache[key] = result
+        cache = self._ite_cache
+        if len(cache) >= self.op_cache_limit:
+            cache.clear()
+        cache[key] = result
         return result
 
     def _cof(self, node: int, lvl: int) -> tuple[int, int]:
@@ -235,83 +281,190 @@ class BddManager:
         """Map ``fn`` over every leaf of ``root``.
 
         Thanks to leaf sharing, ``fn`` is invoked once per *distinct* leaf.
-        A caller-provided ``memo`` lets repeated calls share work (the paper
-        caches diagram operations across simulation steps).
+        A caller-provided ``memo`` (keyed by node id) lets repeated calls
+        share work (the paper caches diagram operations across simulation
+        steps).  Iterative: an explicit work stack replaces recursion, so
+        deep diagrams (fat-tree scenario keys) neither pay Python call
+        overhead per node nor hit the recursion limit.
         """
         if memo is None:
             memo = {}
-        leaf_memo: dict[int, int] = {}
-
-        def rec(n: int) -> int:
-            cached = memo.get(n)
-            if cached is not None:
-                return cached
-            if self._level[n] == LEAF_LEVEL:
-                result = leaf_memo.get(n)
-                if result is None:
-                    result = self.leaf(fn(self._leaf_value[n]))
-                    leaf_memo[n] = result
+        cached = memo.get(root)
+        if cached is not None:
+            self.apply_hits += 1
+            return cached
+        level = self._level
+        lo = self._lo
+        hi = self._hi
+        leaf_value = self._leaf_value
+        memo_get = memo.get
+        hits = 0
+        misses = 0
+        # Frames: (0, node) = expand, (1, node) = combine children results.
+        stack: list[tuple[int, int]] = [(0, root)]
+        results: list[int] = []
+        push = stack.append
+        emit = results.append
+        while stack:
+            tag, n = stack.pop()
+            if tag == 0:
+                r = memo_get(n)
+                if r is not None:
+                    hits += 1
+                    emit(r)
+                    continue
+                misses += 1
+                if level[n] == LEAF_LEVEL:
+                    r = self.leaf(fn(leaf_value[n]))
+                    memo[n] = r
+                    emit(r)
+                else:
+                    push((1, n))
+                    push((0, hi[n]))
+                    push((0, lo[n]))
             else:
-                result = self.mk(self._level[n], rec(self._lo[n]), rec(self._hi[n]))
-            memo[n] = result
-            return result
-
-        return rec(root)
+                r_hi = results.pop()
+                r_lo = results.pop()
+                r = self.mk(level[n], r_lo, r_hi)
+                memo[n] = r
+                emit(r)
+        self.apply_hits += hits
+        self.apply_misses += misses
+        return results[0]
 
     def apply2(self, fn: Callable[[Any, Any], Any], a: int, b: int,
-               memo: dict[tuple[int, int], int] | None = None) -> int:
-        """Combine two diagrams leaf-wise with the binary function ``fn``."""
+               memo: dict[int, int] | None = None) -> int:
+        """Combine two diagrams leaf-wise with the binary function ``fn``.
+
+        ``memo`` is keyed by the packed pair ``(x << 30) | y``; treat it as
+        opaque and only share it between calls with the same ``fn``.
+        """
         if memo is None:
             memo = {}
-
-        def rec(x: int, y: int) -> int:
-            key = (x, y)
-            cached = memo.get(key)
-            if cached is not None:
-                return cached
-            lx, ly = self._level[x], self._level[y]
-            if lx == LEAF_LEVEL and ly == LEAF_LEVEL:
-                result = self.leaf(fn(self._leaf_value[x], self._leaf_value[y]))
+        key0 = (a << _KEY_SHIFT) | b
+        cached = memo.get(key0)
+        if cached is not None:
+            self.apply_hits += 1
+            return cached
+        level = self._level
+        lo = self._lo
+        hi = self._hi
+        leaf_value = self._leaf_value
+        memo_get = memo.get
+        hits = 0
+        misses = 0
+        # Frames: (0, x, y) = expand, (1, key, lvl) = combine children.
+        stack: list[tuple[int, int, int]] = [(0, a, b)]
+        results: list[int] = []
+        push = stack.append
+        emit = results.append
+        while stack:
+            tag, f1, f2 = stack.pop()
+            if tag == 0:
+                key = (f1 << _KEY_SHIFT) | f2
+                r = memo_get(key)
+                if r is not None:
+                    hits += 1
+                    emit(r)
+                    continue
+                misses += 1
+                lx = level[f1]
+                ly = level[f2]
+                if lx == LEAF_LEVEL and ly == LEAF_LEVEL:
+                    r = self.leaf(fn(leaf_value[f1], leaf_value[f2]))
+                    memo[key] = r
+                    emit(r)
+                else:
+                    lvl = lx if lx < ly else ly
+                    if lx == lvl:
+                        x0 = lo[f1]
+                        x1 = hi[f1]
+                    else:
+                        x0 = x1 = f1
+                    if ly == lvl:
+                        y0 = lo[f2]
+                        y1 = hi[f2]
+                    else:
+                        y0 = y1 = f2
+                    push((1, key, lvl))
+                    push((0, x1, y1))
+                    push((0, x0, y0))
             else:
-                lvl = min(lx, ly)
-                x0, x1 = self._cof(x, lvl)
-                y0, y1 = self._cof(y, lvl)
-                result = self.mk(lvl, rec(x0, y0), rec(x1, y1))
-            memo[key] = result
-            return result
-
-        return rec(a, b)
+                r_hi = results.pop()
+                r_lo = results.pop()
+                r = self.mk(f2, r_lo, r_hi)
+                memo[f1] = r
+                emit(r)
+        self.apply_hits += hits
+        self.apply_misses += misses
+        return results[0]
 
     def map_ite(self, pred: int, fn_true: Callable[[Any], Any],
-                fn_false: Callable[[Any], Any], root: int) -> int:
+                fn_false: Callable[[Any], Any], root: int,
+                memo: dict[int, int] | None = None) -> int:
         """The NV ``mapIte`` primitive (fig 11 of the paper).
 
         ``pred`` is a boolean BDD over the map's key bits; leaves of ``root``
         reached under keys satisfying ``pred`` are mapped with ``fn_true``,
-        the rest with ``fn_false``.
+        the rest with ``fn_false``.  Iterative, like :meth:`apply2`; the
+        optional ``memo`` (packed-int keys) may be shared between calls with
+        the same function pair.
         """
         memo_true: dict[int, int] = {}
         memo_false: dict[int, int] = {}
-        memo: dict[tuple[int, int], int] = {}
-
-        def rec(p: int, m: int) -> int:
-            key = (p, m)
-            cached = memo.get(key)
-            if cached is not None:
-                return cached
-            if p == self.true:
-                result = self.apply1(fn_true, m, memo_true)
-            elif p == self.false:
-                result = self.apply1(fn_false, m, memo_false)
+        if memo is None:
+            memo = {}
+        level = self._level
+        lo = self._lo
+        hi = self._hi
+        true = self.true
+        false = self.false
+        memo_get = memo.get
+        # Frames: (0, p, m) = expand, (1, key, lvl) = combine children.
+        stack: list[tuple[int, int, int]] = [(0, pred, root)]
+        results: list[int] = []
+        push = stack.append
+        emit = results.append
+        while stack:
+            tag, f1, f2 = stack.pop()
+            if tag == 0:
+                key = (f1 << _KEY_SHIFT) | f2
+                r = memo_get(key)
+                if r is not None:
+                    emit(r)
+                    continue
+                if f1 == true:
+                    r = self.apply1(fn_true, f2, memo_true)
+                    memo[key] = r
+                    emit(r)
+                elif f1 == false:
+                    r = self.apply1(fn_false, f2, memo_false)
+                    memo[key] = r
+                    emit(r)
+                else:
+                    lp = level[f1]
+                    lm = level[f2]
+                    lvl = lp if lp < lm else lm
+                    if lp == lvl:
+                        p0 = lo[f1]
+                        p1 = hi[f1]
+                    else:
+                        p0 = p1 = f1
+                    if lm == lvl:
+                        m0 = lo[f2]
+                        m1 = hi[f2]
+                    else:
+                        m0 = m1 = f2
+                    push((1, key, lvl))
+                    push((0, p1, m1))
+                    push((0, p0, m0))
             else:
-                lvl = min(self._level[p], self._level[m])
-                p0, p1 = self._cof(p, lvl)
-                m0, m1 = self._cof(m, lvl)
-                result = self.mk(lvl, rec(p0, m0), rec(p1, m1))
-            memo[key] = result
-            return result
-
-        return rec(pred, root)
+                r_hi = results.pop()
+                r_lo = results.pop()
+                r = self.mk(f2, r_lo, r_hi)
+                memo[f1] = r
+                emit(r)
+        return results[0]
 
     def restrict_eval(self, root: int, assignment: Callable[[int], bool]) -> Any:
         """Evaluate a diagram under a total assignment of variables.
@@ -503,5 +656,31 @@ class BddManager:
         yield from rec(root)
 
     def clear_caches(self) -> None:
-        """Drop operation memo tables (unique tables are kept)."""
-        self._op_cache.clear()
+        """Drop operation memo tables.
+
+        The unique and leaf tables are kept, so hash-consed node identity is
+        unaffected: any diagram built before the call is still pointer-equal
+        to the same diagram rebuilt after it.
+        """
+        self._not_cache.clear()
+        self._and_cache.clear()
+        self._xor_cache.clear()
+        self._ite_cache.clear()
+
+    def op_cache_size(self) -> int:
+        """Total entries currently held across the operation memo tables."""
+        return (len(self._not_cache) + len(self._and_cache)
+                + len(self._xor_cache) + len(self._ite_cache))
+
+    def stats(self) -> dict[str, int]:
+        """Instrumentation snapshot (see :mod:`repro.perf` naming rules)."""
+        return {
+            "nodes": len(self._level),
+            "unique_entries": len(self._unique),
+            "leaves": len(self._leaf_table),
+            "op_cache_entries": self.op_cache_size(),
+            "op_cache_hits": self.op_hits,
+            "op_cache_misses": self.op_misses,
+            "apply_cache_hits": self.apply_hits,
+            "apply_cache_misses": self.apply_misses,
+        }

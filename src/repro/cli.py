@@ -19,6 +19,7 @@ import sys
 from pathlib import Path
 from typing import Any
 
+from . import perf
 from .analysis.fault import fault_tolerance_analysis
 from .analysis.simulation import run_simulation
 from .analysis.verify import verify as smt_verify
@@ -53,7 +54,15 @@ def _parse_symbolics(pairs: list[str], net: Network) -> dict[str, Any]:
     return out
 
 
+def _maybe_enable_stats(args: argparse.Namespace) -> None:
+    """``--stats`` turns on the :mod:`repro.perf` registry for this run."""
+    if getattr(args, "stats", False):
+        perf.reset()
+        perf.enable()
+
+
 def cmd_simulate(args: argparse.Namespace) -> int:
+    _maybe_enable_stats(args)
     net = _load_network(args.file)
     symbolics = _parse_symbolics(args.symbolic, net)
     report = run_simulation(net, symbolics,
@@ -68,9 +77,12 @@ def cmd_simulate(args: argparse.Namespace) -> int:
 
 
 def cmd_verify(args: argparse.Namespace) -> int:
+    _maybe_enable_stats(args)
     net = _load_network(args.file)
     result = smt_verify(net, max_conflicts=args.max_conflicts)
     print(result.summary())
+    if args.stats:
+        print(perf.report())
     if result.status == "counterexample":
         for name, value in result.counterexample.items():
             print(f"  symbolic {name} = {value_repr(value)}")
@@ -82,6 +94,7 @@ def cmd_verify(args: argparse.Namespace) -> int:
 
 
 def cmd_fault(args: argparse.Namespace) -> int:
+    _maybe_enable_stats(args)
     net = _load_network(args.file)
     symbolics = _parse_symbolics(args.symbolic, net)
     drop_body = parse_expr(args.drop) if args.drop else None
@@ -92,6 +105,8 @@ def cmd_fault(args: argparse.Namespace) -> int:
     print(report.summary())
     for node, witness in sorted(report.witnesses.items()):
         print(f"  node {node} violates under failure scenario {witness}")
+    if args.stats:
+        print(perf.report())
     return 0 if report.fault_tolerant else 1
 
 
@@ -131,6 +146,9 @@ def build_parser() -> argparse.ArgumentParser:
                           metavar="NAME=VALUE")
     simulate.add_argument("--show-routes", action="store_true")
     simulate.add_argument("--max-nodes", type=int, default=50)
+    simulate.add_argument("--stats", action="store_true",
+                          help="collect and print repro.perf counters "
+                               "(cache hit rates, work done)")
     simulate.set_defaults(fn=cmd_simulate)
 
     verify = sub.add_parser("verify", help="SMT verification over all "
@@ -138,6 +156,8 @@ def build_parser() -> argparse.ArgumentParser:
     verify.add_argument("file")
     verify.add_argument("--max-conflicts", type=int, default=None)
     verify.add_argument("--show-routes", action="store_true")
+    verify.add_argument("--stats", action="store_true",
+                        help="collect and print repro.perf counters")
     verify.set_defaults(fn=cmd_verify)
 
     fault = sub.add_parser("fault", help="fault-tolerance meta-protocol (fig 5)")
@@ -151,6 +171,8 @@ def build_parser() -> argparse.ArgumentParser:
                        metavar="NAME=VALUE")
     fault.add_argument("--drop", default=None,
                        help="NV expression for the dropped route (default None)")
+    fault.add_argument("--stats", action="store_true",
+                       help="collect and print repro.perf counters")
     fault.set_defaults(fn=cmd_fault)
 
     translate = sub.add_parser("translate",

@@ -165,7 +165,16 @@ class PyCompiler:
                                 for name, x in e.updates)
             return f"{base}.with_updates({{{updates}}})"
         if isinstance(e, A.EProj):
-            return f"{self.compile_expr(e.sub, em)}.get({e.label!r})"
+            sub = self.compile_expr(e.sub, em)
+            # Resolve the field offset at compile time when the record type
+            # is known: `proj` is a bounds-checked positional access, far
+            # cheaper than a name lookup on the BGP-style hot paths.
+            sub_ty = getattr(e.sub, "ty", None)
+            if isinstance(sub_ty, T.TRecord):
+                for i, (name, _) in enumerate(sub_ty.fields):
+                    if name == e.label:
+                        return f"{sub}.proj({i}, {e.label!r})"
+            return f"{sub}.get({e.label!r})"
         if isinstance(e, A.EIf):
             cond = self.compile_expr(e.cond, em)
             out = self.fresh("if")
@@ -210,6 +219,18 @@ class PyCompiler:
         raise NvEncodingError(f"cannot compile {type(e).__name__}")
 
     def compile_fun(self, e: A.EFun, em: _Emitter) -> str:
+        # Eta-reduction: `fun x -> f x` (x not free in f) compiles to `f`
+        # itself.  NV is pure and non-recursive, so evaluating `f` eagerly is
+        # sound — and it is a large win: the front end eta-expands transfer
+        # functions per edge (`map (transRoute e) m`), and reducing the
+        # wrapper exposes the *underlying* closure's ``nv_cache_key``, letting
+        # every edge share one diagram-operation memo table instead of each
+        # keeping its own.
+        body = e.body
+        if (isinstance(body, A.EApp) and isinstance(body.arg, A.EVar)
+                and body.arg.name == e.param
+                and e.param not in A.free_vars(body.fn)):
+            return self.compile_expr(body.fn, em)
         name = f"__fn{next(self._fn)}"
         em.emit(f"def {name}({_mangle(e.param)}):")
         em.indent += 1
@@ -345,15 +366,17 @@ def _mangle(name: str) -> str:
     return out
 
 
-def _memo_for(memos: dict[Any, dict], fn: Any) -> dict:
-    key = getattr(fn, "nv_cache_key", None)
-    if key is None:
-        return {}
+def _memo_for(memos: dict[Any, dict], key: Any) -> dict:
+    """The shared diagram-op memo for a semantic operation key.
+
+    ``key`` is e.g. ``("map", fn.nv_cache_key)``; calls whose key is
+    unhashable (a captured mutable value) fall back to a private dict —
+    still correct, just no cross-call sharing.
+    """
     try:
-        hash(key)
+        memo = memos.get(key)
     except TypeError:
         return {}
-    memo = memos.get(key)
     if memo is None:
         memo = {}
         memos[key] = memo
@@ -365,8 +388,19 @@ def _map_op(memos: dict[Any, dict], fn: Any, m: NVMap) -> NVMap:
 
 
 def _combine_op(memos: dict[Any, dict], fn: Any, m1: NVMap, m2: NVMap) -> NVMap:
+    # Cache the partial application fn(x) per distinct left leaf: curried
+    # compiled closures attach nv_* metadata on every call, and combine
+    # pairs each left leaf with many right leaves.  Leaf values are owned by
+    # the (interning) BDD manager, so their ids are stable cache keys.
+    partial: dict[int, Any] = {}
+
     def fn2(x: Any, y: Any) -> Any:
-        return fn(x)(y)
+        fx = partial.get(id(x))
+        if fx is None:
+            fx = fn(x)
+            partial[id(x)] = fx
+        return fx(y)
+
     return m1.combine(fn2, m2, _memo_for(memos, ("combine", *_key(fn))))
 
 
@@ -401,11 +435,23 @@ def compile_network_functions(net: Any, symbolics: dict[str, Any] | None = None,
     merge_f = env["merge"]
     assert_f = env.get("assert")
 
+    # Partially-applied closures per edge/node, created once: closure
+    # creation in compiled code attaches nv_* metadata, which is wasted work
+    # when the simulator calls the same edge/node millions of times.
+    trans_partials: dict[tuple[int, int], Any] = {}
+    merge_partials: dict[int, Any] = {}
+
     def trans(edge: tuple[int, int], x: Any) -> Any:
-        return trans_f(edge)(x)
+        f = trans_partials.get(edge)
+        if f is None:
+            f = trans_partials[edge] = trans_f(edge)
+        return f(x)
 
     def merge(u: int, x: Any, y: Any) -> Any:
-        return merge_f(u)(x)(y)
+        f = merge_partials.get(u)
+        if f is None:
+            f = merge_partials[u] = merge_f(u)
+        return f(x)(y)
 
     assert_fn = None
     if assert_f is not None:

@@ -183,9 +183,18 @@ class Interpreter:
             m1 = self._eval_map(e.args[1], env)
             m2 = self._eval_map(e.args[2], env)
             call = self.as_callable(fn)
+            # Cache the partial application ``fn x`` per distinct left leaf:
+            # combine pairs each left leaf with many right leaves, and leaf
+            # values are owned by the manager's leaf table, so their ids are
+            # stable keys for the duration of the call.
+            partial: dict[int, Any] = {}
 
             def fn2(x: Any, y: Any) -> Any:
-                return self.apply(call(x), y)
+                fx = partial.get(id(x))
+                if fx is None:
+                    fx = call(x)
+                    partial[id(x)] = fx
+                return self.apply(fx, y)
 
             return m1.combine(fn2, m2, self._memo_for(fn, self._combine_memo))
         if op == "mmapite":

@@ -37,25 +37,63 @@ class VSome:
         return f"Some({self.value!r})"
 
 
+# Field-name -> position maps shared across every record of the same shape.
+# Records are immutable and shapes come from a handful of type declarations,
+# so this table stays tiny while making field lookup O(1) on the simulation
+# hot path (BGP merge functions project 6-8 fields per route comparison).
+_SHAPE_INDEX: dict[tuple[str, ...], dict[str, int]] = {}
+
+
+def _shape_index(fields: tuple[tuple[str, Any], ...]) -> dict[str, int]:
+    labels = tuple(label for label, _ in fields)
+    index = _SHAPE_INDEX.get(labels)
+    if index is None:
+        index = {label: i for i, label in enumerate(labels)}
+        _SHAPE_INDEX[labels] = index
+    return index
+
+
 class VRecord:
     """An immutable record value with ordered named fields."""
 
-    __slots__ = ("fields", "_hash")
+    __slots__ = ("fields", "_hash", "_index")
 
     def __init__(self, fields: tuple[tuple[str, Any], ...]) -> None:
         object.__setattr__(self, "fields", fields)
         object.__setattr__(self, "_hash", hash(fields))
+        object.__setattr__(self, "_index", None)
 
     def get(self, name: str) -> Any:
-        for label, value in self.fields:
-            if label == name:
-                return value
-        raise KeyError(f"record has no field {name!r}")
+        index = self._index
+        if index is None:
+            index = _shape_index(self.fields)
+            object.__setattr__(self, "_index", index)
+        i = index.get(name)
+        if i is None:
+            raise KeyError(f"record has no field {name!r}")
+        return self.fields[i][1]
+
+    def proj(self, i: int, name: str) -> Any:
+        """Positional field access with a label check — the compiled backend
+        resolves field offsets at compile time and emits this (falling back
+        to :meth:`get` if the runtime shape disagrees)."""
+        field = self.fields[i]
+        if field[0] is name or field[0] == name:
+            return field[1]
+        return self.get(name)
 
     def with_updates(self, updates: dict[str, Any]) -> "VRecord":
-        return VRecord(tuple(
-            (label, updates.get(label, value)) for label, value in self.fields
-        ))
+        items = list(self.fields)
+        index = self._index
+        if index is None:
+            index = _shape_index(self.fields)
+            object.__setattr__(self, "_index", index)
+        for name, value in updates.items():
+            i = index.get(name)
+            if i is None:
+                raise KeyError(f"record has no field {name!r}")
+            items[i] = (name, value)
+        return VRecord(tuple(items))
 
     def labels(self) -> tuple[str, ...]:
         return tuple(label for label, _ in self.fields)
@@ -91,6 +129,47 @@ class VClosure:
 
     def __repr__(self) -> str:
         return f"<fun {self.param} -> ...>"
+
+
+class ValueInterner:
+    """Hash-consing for first-order NV values.
+
+    The simulator interns every route it produces so that (a) equal routes
+    are the *same* Python object, making the convergence test and memo-cache
+    keys identity-cheap, and (b) per-edge/per-node memo tables can key on
+    values without re-hashing deep structures (``VRecord`` caches its hash;
+    interned equal values short-circuit dict probes on identity).
+
+    Unhashable values (none occur for well-typed first-order attributes, but
+    the simulator is protocol-agnostic) pass through uninterned.
+    """
+
+    __slots__ = ("_table", "hits", "misses")
+
+    def __init__(self) -> None:
+        self._table: dict[Any, Any] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def intern(self, value: Any) -> Any:
+        table = self._table
+        try:
+            canon = table.get(value)
+        except TypeError:
+            return value
+        if canon is not None:
+            self.hits += 1
+            return canon
+        # `None` and values comparing equal to None need the explicit check.
+        if value in table:
+            self.hits += 1
+            return value
+        self.misses += 1
+        table[value] = value
+        return value
+
+    def __len__(self) -> int:
+        return len(self._table)
 
 
 def value_repr(value: Any) -> str:

@@ -117,6 +117,7 @@ class SatSolver:
         self.conflicts = 0
         self.decisions = 0
         self.propagations = 0
+        self.restarts = 0
         # Learnt-clause database, with LBD ("glue") per clause identity.
         self.learnts: list[list[int]] = []
         self.lbd: dict[int, int] = {}
@@ -394,6 +395,7 @@ class SatSolver:
                 return result
             if max_conflicts is not None and self.conflicts >= max_conflicts:
                 return None
+            self.restarts += 1
             self._backjump(0)
 
     def _search(self, budget: int, max_conflicts: int | None) -> bool | None:

@@ -11,6 +11,7 @@ import sys
 from dataclasses import dataclass, field
 from time import perf_counter
 
+from .. import perf
 from .bitblast import BitBlaster
 from .cnf import Tseitin
 from .sat import SatSolver
@@ -27,6 +28,9 @@ class SmtResult:
     encode_seconds: float = 0.0
     solve_seconds: float = 0.0
     conflicts: int = 0
+    decisions: int = 0
+    propagations: int = 0
+    restarts: int = 0
 
     @property
     def is_sat(self) -> bool:
@@ -87,7 +91,20 @@ class Solver:
             encode_seconds=encode_seconds,
             solve_seconds=solve_seconds,
             conflicts=solver.conflicts,
+            decisions=solver.decisions,
+            propagations=solver.propagations,
+            restarts=solver.restarts,
         )
+        perf.merge({
+            "checks": 1,
+            "conflicts": solver.conflicts,
+            "decisions": solver.decisions,
+            "propagations": solver.propagations,
+            "restarts": solver.restarts,
+            "clauses": len(cnf.clauses),
+            "encode_seconds": encode_seconds,
+            "solve_seconds": solve_seconds,
+        }, prefix="sat.")
         if outcome:
             # Boolean term variables.
             for name, var in cnf.name_var.items():

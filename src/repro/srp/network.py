@@ -67,7 +67,12 @@ class Network:
 
 @dataclass
 class NetworkFunctions:
-    """Executable form of a network's protocol: uncurried host callables."""
+    """Executable form of a network's protocol: uncurried host callables.
+
+    Incidence lists are built once and cached — the simulator, stability
+    checker and analysis drivers all need them, and rebuilding per call
+    showed up on the fig 14 benchmark profile.
+    """
 
     num_nodes: int
     edges: tuple[tuple[int, int], ...]
@@ -77,6 +82,30 @@ class NetworkFunctions:
     assert_fn: Callable[[int, Any], bool] | None = None
     ctx: MapContext | None = None
     attr_ty: T.Type | None = None
+    _out_edges: list[list[tuple[int, int]]] | None = field(
+        default=None, repr=False, compare=False)
+    _in_edges: list[list[tuple[int, int]]] | None = field(
+        default=None, repr=False, compare=False)
+
+    def neighbors_out(self) -> list[list[tuple[int, int]]]:
+        """For each node, the directed edges leaving it (cached)."""
+        out = self._out_edges
+        if out is None:
+            out = [[] for _ in range(self.num_nodes)]
+            for u, v in self.edges:
+                out[u].append((u, v))
+            self._out_edges = out
+        return out
+
+    def neighbors_in(self) -> list[list[tuple[int, int]]]:
+        """For each node, the directed edges arriving at it (cached)."""
+        inc = self._in_edges
+        if inc is None:
+            inc = [[] for _ in range(self.num_nodes)]
+            for u, v in self.edges:
+                inc[v].append((u, v))
+            self._in_edges = inc
+        return inc
 
 
 def functions_from_program(net: Network,

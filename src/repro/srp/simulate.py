@@ -2,7 +2,7 @@
 
 A worklist algorithm over nodes: a popped node pushes its attribute across
 its out-edges; receivers merge the transferred route into their current
-label.  Two refinements from the paper:
+label.  Refinements over the paper's Algorithm 1:
 
 * **Stale-route handling** — each node remembers the last route received from
   every neighbour.  When a fresh route arrives from a neighbour that had
@@ -13,10 +13,23 @@ label.  Two refinements from the paper:
   be merged into the existing label directly; only otherwise is the full
   re-merge of every received route performed.  The ablation benchmark
   ``bench_ablation_incremental`` measures this choice.
+* **Route interning + memoised trans/merge** (this reproduction's hot-path
+  work, toward the paper's fig 14 speed claims) — every route is hash-consed
+  through a :class:`~repro.eval.values.ValueInterner`, so label-change tests
+  are identity tests and per-edge ``trans`` / per-node ``merge`` results can
+  be memoised on the (interned) argument values.  A node popped with the
+  same label it last pushed is skipped outright: all of its messages would
+  be byte-identical to what its neighbours already hold.
+* **Cached partial merges** — the full re-merge path folds over the received
+  routes in stable (insertion-order) sequence through the same per-node
+  merge memo, so an unchanged prefix of the fold is pure cache hits.
 
 The simulator is agnostic to how the protocol functions execute — interpreted
 closures, compiled Python, MTBDD-bulk maps — which is exactly the paper's
-point: it simulates the NV *language*, not a fixed protocol.
+point: it simulates the NV *language*, not a fixed protocol.  Run statistics
+(activations, messages, memo hit counts) are returned on the
+:class:`~repro.srp.solution.Solution` and flushed into :mod:`repro.perf`
+when that registry is enabled.
 """
 
 from __future__ import annotations
@@ -24,32 +37,101 @@ from __future__ import annotations
 from collections import deque
 from typing import Any
 
+from .. import perf
+from ..eval.values import ValueInterner
 from ..lang.errors import NvRuntimeError
 from .network import NetworkFunctions
 from .solution import Solution
 
+_NEVER = object()   # sentinel: "this node has not pushed yet"
+
 
 def simulate(funcs: NetworkFunctions, max_iterations: int | None = None,
-             incremental: bool = True) -> Solution:
+             incremental: bool = True, memoize: bool = True,
+             out_edges: list[list[tuple[int, int]]] | None = None) -> Solution:
     """Compute a stable state of the network.
+
+    ``memoize`` enables route interning plus the trans/merge memo caches
+    (identical labels, hence identical results, recur constantly while the
+    worklist converges).  ``out_edges`` optionally supplies a precomputed
+    out-incidence list (``NetworkFunctions.neighbors_out()``), sharing the
+    build between repeated simulations of one network.
 
     Raises :class:`NvRuntimeError` if ``max_iterations`` pops are exceeded —
     the underlying route algebra may be divergent (the paper notes Algorithm 1
     need not terminate in general).
     """
     n = funcs.num_nodes
-    out_edges: list[list[tuple[int, int]]] = [[] for _ in range(n)]
-    for u, v in funcs.edges:
-        out_edges[u].append((u, v))
+    if out_edges is None:
+        out_edges = funcs.neighbors_out()
 
     init = funcs.init
     trans = funcs.trans
     merge = funcs.merge
 
-    labels: list[Any] = [init(u) for u in range(n)]
+    # ------------------------------------------------------------------
+    # Memoisation layer: interned routes, per-edge trans memo, per-node
+    # merge memo.  All keys are interned values, so dict probes resolve on
+    # identity for repeated routes.
+    # ------------------------------------------------------------------
+    stats = {
+        "activations": 0, "messages": 0, "skipped_activations": 0,
+        "trans_cache_hits": 0, "trans_cache_misses": 0,
+        "merge_cache_hits": 0, "merge_cache_misses": 0,
+    }
+    if memoize:
+        interner = ValueInterner()
+        intern = interner.intern
+        # trans memo: edge -> {attr: route}.
+        trans_memo: dict[tuple[int, int], dict[Any, Any]] = {}
+        # merge memo: node -> {(a, b): route}.
+        merge_memo: list[dict[Any, Any]] = [{} for _ in range(n)]
+
+        def trans_m(edge: tuple[int, int], attr: Any) -> Any:
+            memo = trans_memo.get(edge)
+            if memo is None:
+                memo = trans_memo[edge] = {}
+            try:
+                cached = memo.get(attr, _NEVER)
+            except TypeError:    # unhashable attribute: cannot memoise
+                stats["trans_cache_misses"] += 1
+                return intern(trans(edge, attr))
+            if cached is not _NEVER:
+                stats["trans_cache_hits"] += 1
+                return cached
+            stats["trans_cache_misses"] += 1
+            route = intern(trans(edge, attr))
+            memo[attr] = route
+            return route
+
+        def merge_m(v: int, a: Any, b: Any) -> Any:
+            memo = merge_memo[v]
+            key = (id(a), id(b))
+            cached = memo.get(key)
+            if cached is not None:
+                stats["merge_cache_hits"] += 1
+                return cached[0]
+            stats["merge_cache_misses"] += 1
+            route = intern(merge(v, a, b))
+            # Keep a, b alive in the cache entry so their ids stay unique.
+            memo[key] = (route, a, b)
+            return route
+    else:
+        def intern(value: Any) -> Any:
+            return value
+
+        def trans_m(edge: tuple[int, int], attr: Any) -> Any:
+            return trans(edge, attr)
+
+        def merge_m(v: int, a: Any, b: Any) -> Any:
+            return merge(v, a, b)
+
+    labels: list[Any] = [intern(init(u)) for u in range(n)]
     initial: list[Any] = list(labels)
     # received[v][u] = last route transferred from u to v.
     received: list[dict[int, Any]] = [{} for _ in range(n)]
+    # last_pushed[u] = the label u held when it last pushed its out-edges.
+    last_pushed: list[Any] = [_NEVER] * n
 
     queue: deque[int] = deque(range(n))
     in_queue = [True] * n
@@ -58,7 +140,10 @@ def simulate(funcs: NetworkFunctions, max_iterations: int | None = None,
     limit = max_iterations if max_iterations is not None else 100 * n * max(len(funcs.edges), 1)
 
     def update(v: int, route: Any) -> None:
-        if route != labels[v]:
+        old = labels[v]
+        if route is old:
+            return
+        if route != old:
             labels[v] = route
             if not in_queue[v]:
                 in_queue[v] = True
@@ -73,39 +158,63 @@ def simulate(funcs: NetworkFunctions, max_iterations: int | None = None,
         u = queue.popleft()
         in_queue[u] = False
         attr_u = labels[u]
+        if attr_u is last_pushed[u]:
+            # Identical re-push: every neighbour already received exactly
+            # these routes (interned identity), so all sends are no-ops.
+            stats["skipped_activations"] += 1
+            continue
+        last_pushed[u] = attr_u
         for edge in out_edges[u]:
             v = edge[1]
-            new = trans(edge, attr_u)
+            new = trans_m(edge, attr_u)
             messages += 1
-            if u in received[v]:
-                old = received[v][u]
-                received[v][u] = new
-                if old == new:
+            received_v = received[v]
+            if u in received_v:
+                old = received_v[u]
+                received_v[u] = new
+                if old is new or old == new:
                     continue
-                if incremental and merge(v, old, new) == new:
-                    # The new route supersedes the stale one (alg 1 l.15-17).
-                    update(v, merge(v, labels[v], new))
+                if incremental:
+                    merged = merge_m(v, old, new)
+                    superseded = merged is new or merged == new
                 else:
-                    # Full re-merge of everything v knows (alg 1 l.18).
+                    superseded = False
+                if superseded:
+                    # The new route supersedes the stale one (alg 1 l.15-17).
+                    update(v, merge_m(v, labels[v], new))
+                else:
+                    # Full re-merge of everything v knows (alg 1 l.18);
+                    # the stable fold order makes unchanged prefixes hit
+                    # the per-node merge memo.
                     route = initial[v]
-                    for route_w in received[v].values():
-                        route = merge(v, route, route_w)
+                    for route_w in received_v.values():
+                        route = merge_m(v, route, route_w)
                     update(v, route)
             else:
-                received[v][u] = new
-                update(v, merge(v, labels[v], new))
+                received_v[u] = new
+                update(v, merge_m(v, labels[v], new))
 
-    return Solution(labels, iterations=iterations, messages=messages)
+    stats["activations"] = iterations
+    stats["messages"] = messages
+    if memoize:
+        stats["interned_routes"] = len(interner)
+    perf.merge(stats, prefix="sim.")
+    return Solution(labels, iterations=iterations, messages=messages,
+                    stats=stats)
 
 
-def is_stable(funcs: NetworkFunctions, labels: list[Any]) -> bool:
+def is_stable(funcs: NetworkFunctions, labels: list[Any],
+              in_edges: list[list[tuple[int, int]]] | None = None) -> bool:
     """Check the stability equations of §2.5 directly:
-    ``L(u) = init(u) ⊕ trans(e1, L(v1)) ⊕ ... ⊕ trans(en, L(vn))``."""
-    n = funcs.num_nodes
-    in_edges: list[list[tuple[int, int]]] = [[] for _ in range(n)]
-    for u, v in funcs.edges:
-        in_edges[v].append((u, v))
-    for u in range(n):
+    ``L(u) = init(u) ⊕ trans(e1, L(v1)) ⊕ ... ⊕ trans(en, L(vn))``.
+
+    ``in_edges`` optionally supplies a precomputed in-incidence list
+    (``NetworkFunctions.neighbors_in()``); by default the cached incidence
+    on ``funcs`` is used instead of rebuilding it per call.
+    """
+    if in_edges is None:
+        in_edges = funcs.neighbors_in()
+    for u in range(funcs.num_nodes):
         expected = funcs.init(u)
         for edge in in_edges[u]:
             expected = funcs.merge(u, expected, funcs.trans(edge, labels[edge[0]]))

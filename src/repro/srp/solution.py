@@ -10,11 +10,17 @@ from ..eval.values import value_repr
 
 @dataclass
 class Solution:
-    """A stable labelling ``L`` of the network (paper §2.5), plus run stats."""
+    """A stable labelling ``L`` of the network (paper §2.5), plus run stats.
+
+    ``stats`` carries the simulator's work counters (activations, messages,
+    trans/merge memo hits — see :mod:`repro.perf` naming rules) so analysis
+    drivers and benchmarks can report work done, not just wall time.
+    """
 
     labels: list[Any]
     iterations: int = 0
     messages: int = 0
+    stats: dict[str, int] = field(default_factory=dict)
 
     def label(self, node: int) -> Any:
         return self.labels[node]

@@ -190,3 +190,44 @@ class TestMtbddOps:
     def test_node_count_shares(self, mgr):
         v = mgr.var(0)
         assert mgr.node_count(v) == 3  # node + 2 terminals
+
+
+class TestOperationCaches:
+    def test_clear_caches_preserves_node_identity(self, mgr):
+        """clear_caches drops memoised *operation results* only: the
+        hash-consed unique/leaf tables survive, so a structurally equal node
+        rebuilt afterwards is the *same* node id."""
+        a, b = mgr.var(0), mgr.var(1)
+        conj = mgr.band(a, b)
+        leaf = mgr.leaf(("route", 7))
+        root = mgr.mk(0, leaf, mgr.leaf(("route", 8)))
+        assert mgr.op_cache_size() > 0
+
+        mgr.clear_caches()
+        assert mgr.op_cache_size() == 0
+        # Identity preserved: rebuilding yields the very same ids.
+        assert mgr.var(0) == a
+        assert mgr.leaf(("route", 7)) == leaf
+        assert mgr.mk(0, leaf, mgr.leaf(("route", 8))) == root
+        # Recomputing an op after the flush reproduces the same node.
+        assert mgr.band(a, b) == conj
+
+    def test_op_cache_counts_hits(self, mgr):
+        a, b = mgr.var(0), mgr.var(1)
+        mgr.band(a, b)
+        before = mgr.stats()["op_cache_hits"]
+        mgr.band(a, b)
+        assert mgr.stats()["op_cache_hits"] == before + 1
+
+    def test_op_cache_limit_bounds_growth(self):
+        small = BddManager(op_cache_limit=4)
+        leaves = [small.var(i) for i in range(6)]
+        for i in range(5):
+            small.band(leaves[i], leaves[i + 1])
+        assert small.op_cache_size() <= 4
+
+    def test_stats_shape(self, mgr):
+        stats = mgr.stats()
+        for key in ("nodes", "leaves", "op_cache_hits", "op_cache_misses",
+                    "apply_cache_hits", "apply_cache_misses"):
+            assert key in stats

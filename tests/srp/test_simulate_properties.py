@@ -1,0 +1,114 @@
+"""Property tests for the simulation kernel's optimisation switches.
+
+The kernel (``srp/simulate.py``) has two independent fast paths — the
+incremental-merge shortcut and the route-interning/memoisation layer — and
+both must be *semantics-preserving*: whatever combination of switches runs,
+the stable labelling is the same.  Hypothesis drives random small topologies
+through a shortest-paths routing algebra (monotone, hence convergent) and a
+bounded "widest path" algebra.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.srp.network import NetworkFunctions
+from repro.srp.simulate import is_stable, simulate
+
+MAX_NODES = 6
+INF = None  # no route
+
+
+def _directed(links: list[tuple[int, int]]) -> tuple[tuple[int, int], ...]:
+    out: list[tuple[int, int]] = []
+    seen: set[tuple[int, int]] = set()
+    for u, v in links:
+        for e in ((u, v), (v, u)):
+            if e not in seen:
+                seen.add(e)
+                out.append(e)
+    return tuple(out)
+
+
+@st.composite
+def topologies(draw):
+    """A random small topology with per-directed-edge weights."""
+    n = draw(st.integers(min_value=1, max_value=MAX_NODES))
+    possible = [(u, v) for u in range(n) for v in range(u + 1, n)]
+    links = draw(st.lists(st.sampled_from(possible), unique=True,
+                          max_size=len(possible)) if possible
+                 else st.just([]))
+    edges = _directed(links)
+    weights = {e: draw(st.integers(min_value=1, max_value=5)) for e in edges}
+    return n, edges, weights
+
+
+def shortest_path_funcs(n: int, edges, weights) -> NetworkFunctions:
+    """Hop-weighted shortest paths to node 0 (option[int] attributes)."""
+
+    def init(u: int):
+        return 0 if u == 0 else INF
+
+    def trans(edge, x):
+        if x is INF:
+            return INF
+        return min(x + weights[edge], 255)
+
+    def merge(u, x, y):
+        if x is INF:
+            return y
+        if y is INF:
+            return x
+        return min(x, y)
+
+    return NetworkFunctions(n, edges, init, trans, merge)
+
+
+def widest_path_funcs(n: int, edges, weights) -> NetworkFunctions:
+    """Widest-path (max-min) algebra: bounded lattice, also convergent."""
+
+    def init(u: int):
+        return 10 if u == 0 else 0
+
+    def trans(edge, x):
+        return min(x, weights[edge] + 3)
+
+    def merge(u, x, y):
+        return max(x, y)
+
+    return NetworkFunctions(n, edges, init, trans, merge)
+
+
+ALGEBRAS = [shortest_path_funcs, widest_path_funcs]
+
+
+@settings(max_examples=60, deadline=None)
+@given(topo=topologies(), algebra=st.sampled_from(ALGEBRAS))
+def test_incremental_matches_full_remerge(topo, algebra):
+    n, edges, weights = topo
+    inc = simulate(algebra(n, edges, weights), incremental=True)
+    full = simulate(algebra(n, edges, weights), incremental=False)
+    assert inc.labels == full.labels
+
+
+@settings(max_examples=60, deadline=None)
+@given(topo=topologies(), algebra=st.sampled_from(ALGEBRAS))
+def test_memoized_matches_unmemoized(topo, algebra):
+    n, edges, weights = topo
+    memo = simulate(algebra(n, edges, weights), memoize=True)
+    plain = simulate(algebra(n, edges, weights), memoize=False)
+    assert memo.labels == plain.labels
+
+
+@settings(max_examples=40, deadline=None)
+@given(topo=topologies(), algebra=st.sampled_from(ALGEBRAS),
+       incremental=st.booleans(), memoize=st.booleans())
+def test_all_modes_reach_a_stable_state(topo, algebra, incremental, memoize):
+    n, edges, weights = topo
+    funcs = algebra(n, edges, weights)
+    sol = simulate(funcs, incremental=incremental, memoize=memoize)
+    assert is_stable(funcs, sol.labels)
+    # The kernel's work counters are always reported on the solution.
+    assert sol.stats["activations"] == sol.iterations
+    assert sol.stats["messages"] == sol.messages
