@@ -1,0 +1,27 @@
+#!/usr/bin/env python
+"""Counter-budget regression gate (thin wrapper over :mod:`repro.budgets`).
+
+Runs the quick-mode workloads, captures their deterministic work counters
+(``sim.activations``, ``bdd.op_cache_misses``, ``sat.conflicts``, ...) and
+compares them against the checked-in ``benchmarks/budgets.json``.  Drift
+beyond the tolerance fails with a diff table — this is how CI catches
+semantic/cache regressions that wall-clock noise would hide.
+
+    PYTHONPATH=src python benchmarks/check_budgets.py            # gate
+    PYTHONPATH=src python benchmarks/check_budgets.py --update   # re-pin
+    PYTHONPATH=src python benchmarks/check_budgets.py --ablate sim-memo
+                                   # demonstrate the gate trips (expect FAIL)
+"""
+
+import sys
+from pathlib import Path
+
+# Allow running from a source checkout without an installed package.
+_SRC = Path(__file__).resolve().parents[1] / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+from repro.budgets import main  # noqa: E402
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -16,7 +16,9 @@ EXPERIMENTS.md records one full run and compares it against the paper.
 
 from __future__ import annotations
 
+import json
 import os
+from pathlib import Path
 
 import pytest
 
@@ -56,6 +58,13 @@ def pytest_terminal_summary(terminalreporter, exitstatus, config):
     if snap:
         terminalreporter.write_line("")
         terminalreporter.write_line(perf.report(snap))
+    # ``NV_PERF_JSON=path`` additionally dumps the session counter snapshot
+    # as JSON — CI uploads this next to pytest-benchmark's timing JSON so a
+    # run's work counters are archived alongside its wall-clock numbers.
+    out = os.environ.get("NV_PERF_JSON")
+    if out and snap:
+        Path(out).write_text(json.dumps(snap, indent=2, sort_keys=True) + "\n")
+        terminalreporter.write_line(f"perf counter snapshot written to {out}")
 
 
 @pytest.fixture(scope="session")

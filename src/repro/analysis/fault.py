@@ -16,7 +16,7 @@ from dataclasses import dataclass, field
 from time import perf_counter
 from typing import Any
 
-from .. import perf
+from .. import obs, perf
 from ..eval.interp import Interpreter, program_env
 from ..eval.maps import MapContext, NVMap
 from ..lang import types as T
@@ -84,19 +84,28 @@ def fault_tolerance_analysis(net: Network,
     turned into executable functions (the compiled backend passes its own).
     """
     t0 = perf_counter()
-    ft_net = fault_tolerance_transform(net, num_link_failures, node_failures,
-                                       drop_body=drop_body)
+    with obs.span("fault.transform", link_failures=num_link_failures,
+                  node_failures=node_failures):
+        ft_net = fault_tolerance_transform(net, num_link_failures,
+                                           node_failures, drop_body=drop_body)
     transform_seconds = perf_counter() - t0
 
-    ctx = MapContext(ft_net.num_nodes, ft_net.edges)
-    interp = Interpreter(ctx)
-    if functions_factory is None:
-        funcs = functions_from_program(ft_net, symbolics, ctx=ctx, interp=interp)
-    else:
-        funcs = functions_factory(ft_net, symbolics, ctx, interp)
+    with obs.span("fault.setup"):
+        ctx = MapContext(ft_net.num_nodes, ft_net.edges)
+        interp = Interpreter(ctx)
+        if functions_factory is None:
+            funcs = functions_from_program(ft_net, symbolics, ctx=ctx,
+                                           interp=interp)
+        else:
+            funcs = functions_factory(ft_net, symbolics, ctx, interp)
 
     t0 = perf_counter()
-    solution = simulate(funcs)
+    with obs.span("sim.simulate", nodes=ft_net.num_nodes,
+                  edges=len(ft_net.edges)) as sp:
+        solution = simulate(funcs)
+        if sp is not None:
+            sp.attrs.update(activations=solution.iterations,
+                            messages=solution.messages)
     simulate_seconds = perf_counter() - t0
 
     # Flush the diagram-engine work counters for this run (fig 13b reports
@@ -117,16 +126,20 @@ def fault_tolerance_analysis(net: Network,
     reports: list[NodeFaultReport] = []
     witnesses: dict[int, Any] = {}
     key_ty = scenario_key_type(num_link_failures, node_failures)
-    for u in range(ft_net.num_nodes):
-        label = solution.labels[u]
-        assert isinstance(label, NVMap)
-        classes = [(value, count, check(u, value))
-                   for value, count in label.groups().items()]
-        reports.append(NodeFaultReport(u, classes))
-        if with_witnesses and any(not ok for _, _, ok in classes):
-            witness = _violation_witness(label, key_ty, check, u)
-            if witness is not None:
-                witnesses[u] = witness
+    with obs.span("fault.classes", witnesses=with_witnesses) as sp:
+        for u in range(ft_net.num_nodes):
+            label = solution.labels[u]
+            assert isinstance(label, NVMap)
+            classes = [(value, count, check(u, value))
+                       for value, count in label.groups().items()]
+            reports.append(NodeFaultReport(u, classes))
+            if with_witnesses and any(not ok for _, _, ok in classes):
+                witness = _violation_witness(label, key_ty, check, u)
+                if witness is not None:
+                    witnesses[u] = witness
+        if sp is not None:
+            sp.attrs["max_classes"] = max(
+                (n.num_classes for n in reports), default=0)
 
     return FaultReport(num_link_failures, node_failures, reports,
                        simulate_seconds, transform_seconds, witnesses)

@@ -12,7 +12,7 @@ from dataclasses import dataclass
 from time import perf_counter
 from typing import Any
 
-from .. import perf
+from .. import obs, perf
 from ..eval.compile_py import compile_network_functions
 from ..srp.network import Network, functions_from_program
 from ..srp.simulate import simulate
@@ -58,25 +58,40 @@ class SimulationReport:
 
 def run_simulation(net: Network, symbolics: dict[str, Any] | None = None,
                    backend: str = "interp",
-                   incremental: bool = True) -> SimulationReport:
+                   incremental: bool = True,
+                   lower: bool = False) -> SimulationReport:
     """Simulate ``net`` to convergence.
 
     ``backend`` is ``"interp"`` (AST-walking evaluator) or ``"native"``
     (NV compiled to Python, the paper's native simulation).  ``incremental``
     toggles the incremental-merge optimisation of Algorithm 1 (the ablation
-    benchmark measures it).
+    benchmark measures it).  ``lower=True`` first runs the value-preserving
+    subset of the §5.2 pipeline (inlining + partial evaluation; the
+    shape-changing unbox/flatten passes are skipped so labels keep their
+    source representation) — ``--trace`` uses this to show per-pass spans.
     """
     t0 = perf_counter()
+    if lower:
+        from ..transform.pipeline import lower_program
+        net = Network.from_program(
+            lower_program(net.program, unbox=False, flatten=False))
     if backend == "interp":
-        funcs = functions_from_program(net, symbolics)
+        with obs.span("sim.setup", backend=backend):
+            funcs = functions_from_program(net, symbolics)
     elif backend == "native":
-        funcs = compile_network_functions(net, symbolics)
+        with obs.span("sim.setup", backend=backend):
+            funcs = compile_network_functions(net, symbolics)
     else:
         raise ValueError(f"unknown backend {backend!r}; use 'interp' or 'native'")
     setup_seconds = perf_counter() - t0
 
     t0 = perf_counter()
-    solution = simulate(funcs, incremental=incremental)
+    with obs.span("sim.simulate", nodes=net.num_nodes,
+                  edges=len(net.edges)) as sp:
+        solution = simulate(funcs, incremental=incremental)
+        if sp is not None:
+            sp.attrs.update(activations=solution.iterations,
+                            messages=solution.messages)
     simulate_seconds = perf_counter() - t0
 
     if funcs.ctx is not None:
@@ -84,6 +99,7 @@ def run_simulation(net: Network, symbolics: dict[str, Any] | None = None,
     perf.merge({"setup_seconds": setup_seconds,
                 "simulate_seconds": simulate_seconds}, prefix="sim.")
 
-    violations = solution.check_assertions(funcs.assert_fn)
+    with obs.span("sim.assertions"):
+        violations = solution.check_assertions(funcs.assert_fn)
     return SimulationReport(solution, backend, setup_seconds,
                             simulate_seconds, violations)

@@ -12,6 +12,7 @@ from __future__ import annotations
 from time import perf_counter
 from typing import Any
 
+from .. import obs
 from ..eval.values import VClosure, VRecord, VSome
 from ..lang import ast as A
 from ..lang import types as T
@@ -98,11 +99,15 @@ def verify(net: Network, simplify: bool = True,
     """Verify the network's assertion over all stable states and all
     assignments to symbolic values."""
     t0 = perf_counter()
-    enc, ev, prop = encode_network(net, simplify=simplify)
-    solver = Solver(enc.tm)
-    for c in enc.constraints:
-        solver.add(c)
-    solver.add(enc.tm.mk_not(prop))
+    with obs.span("smt.encode", nodes=net.num_nodes, edges=len(net.edges),
+                  simplify=simplify) as sp:
+        enc, ev, prop = encode_network(net, simplify=simplify)
+        solver = Solver(enc.tm)
+        for c in enc.constraints:
+            solver.add(c)
+        solver.add(enc.tm.mk_not(prop))
+        if sp is not None:
+            sp.attrs["constraints"] = len(enc.constraints)
     encode_seconds = perf_counter() - t0
 
     smt = solver.check(max_conflicts)
@@ -111,17 +116,18 @@ def verify(net: Network, simplify: bool = True,
     if smt.status == "unknown":
         return VerificationResult(False, "unknown", smt, encode_seconds)
 
-    assignment: dict[str, Any] = {}
-    assignment.update(smt.model_bools)
-    assignment.update(smt.model_bvs)
-    counterexample = {
-        name: decode_tval(enc, tval, ty, assignment)
-        for name, (ty, tval) in enc.symbolic_vals.items()
-    }
-    node_attrs = {
-        u: decode_tval(enc, tval, net.attr_ty, assignment)
-        for u, tval in enc.attr_vals.items()
-    }
+    with obs.span("smt.decode_model"):
+        assignment: dict[str, Any] = {}
+        assignment.update(smt.model_bools)
+        assignment.update(smt.model_bvs)
+        counterexample = {
+            name: decode_tval(enc, tval, ty, assignment)
+            for name, (ty, tval) in enc.symbolic_vals.items()
+        }
+        node_attrs = {
+            u: decode_tval(enc, tval, net.attr_ty, assignment)
+            for u, tval in enc.attr_vals.items()
+        }
     return VerificationResult(False, "counterexample", smt, encode_seconds,
                               counterexample, node_attrs)
 

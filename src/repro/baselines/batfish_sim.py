@@ -20,6 +20,7 @@ from collections import deque
 from dataclasses import dataclass
 from typing import Callable, Iterable
 
+from .. import obs, perf
 from ..topology.fattree import layer_bounds
 from ..topology.graph import Topology
 
@@ -119,7 +120,10 @@ def simulate_batfish(topo: Topology, policy: Policy,
     in_queue = [True] * n
     iterations = 0
     messages = 0
+    recomputes = 0
+    withdrawals = 0
     limit = max_iterations if max_iterations is not None else 200 * n
+    tracing = obs.is_enabled()
 
     def recompute(v: int) -> bool:
         """Full best-route recomputation for every prefix at ``v``."""
@@ -139,6 +143,9 @@ def simulate_batfish(topo: Topology, policy: Policy,
             raise RuntimeError("batfish-style simulation did not converge")
         u = queue.popleft()
         in_queue[u] = False
+        if tracing:
+            obs.event("batfish.activation", node=u, iteration=iterations,
+                      worklist=len(queue))
         for edge in out_edges[u]:
             v = edge[1]
             changed = False
@@ -153,17 +160,27 @@ def simulate_batfish(topo: Topology, policy: Policy,
             for (neighbor, prefix) in list(rib_in[v]):
                 if neighbor == u and prefix not in exported:
                     del rib_in[v][(neighbor, prefix)]
+                    withdrawals += 1
                     changed = True
             for prefix, out in exported.items():
                 old = rib_in[v].get((u, prefix))
                 if old != out:
                     rib_in[v][(u, prefix)] = out
                     changed = True
-            if changed and recompute(v) and not in_queue[v]:
-                in_queue[v] = True
-                queue.append(v)
+            if changed:
+                recomputes += 1
+                if recompute(v) and not in_queue[v]:
+                    in_queue[v] = True
+                    queue.append(v)
 
-    return BatfishResult(ribs, iterations, messages)
+    result = BatfishResult(ribs, iterations, messages)
+    # Flush the same counter families the NV backends report (activations,
+    # messages, plus the baseline-specific full-RIB recompute count), so the
+    # fig 14 comparison can put identical columns side by side.
+    perf.merge({"activations": iterations, "messages": messages,
+                "recomputes": recomputes, "withdrawals": withdrawals,
+                "rib_entries": result.rib_entries()}, prefix="batfish.")
+    return result
 
 
 def fattree_announcements(leaves: Iterable[int]) -> dict[int, dict[int, BgpRoute]]:

@@ -18,7 +18,14 @@ from __future__ import annotations
 
 from typing import Any, Callable, Iterator
 
+from .. import obs
+
 LEAF_LEVEL = 1 << 30
+
+#: Emit a ``bdd.growth`` timeline sample each time the node store grows by
+#: this many nodes while tracing (see :mod:`repro.obs`).  The check is one
+#: integer comparison per node creation, so it is effectively free.
+GROWTH_SAMPLE_INTERVAL = 4096
 
 
 _KEY_SHIFT = 30  # pack (a, b) node-id pairs into one int key: (a << 30) | b
@@ -62,8 +69,22 @@ class BddManager:
         self.op_misses = 0
         self.apply_hits = 0
         self.apply_misses = 0
+        self._next_growth_sample = GROWTH_SAMPLE_INTERVAL
         self.false = self.leaf(False)
         self.true = self.leaf(True)
+
+    def _growth_sample(self) -> None:
+        """Periodic unique-table / op-cache growth sample (see module
+        :mod:`repro.obs`); called when the node store crosses the next
+        sampling threshold."""
+        self._next_growth_sample = len(self._level) + GROWTH_SAMPLE_INTERVAL
+        if obs.is_enabled():
+            obs.event("bdd.growth", nodes=len(self._level),
+                      unique_entries=len(self._unique),
+                      leaves=len(self._leaf_table),
+                      op_cache_entries=self.op_cache_size(),
+                      op_cache_hits=self.op_hits,
+                      op_cache_misses=self.op_misses)
 
     # ------------------------------------------------------------------
     # Node construction
@@ -103,6 +124,8 @@ class BddManager:
         self._hi.append(hi)
         self._leaf_value.append(None)
         self._unique[key] = node
+        if node >= self._next_growth_sample:
+            self._growth_sample()
         return node
 
     def var(self, level: int) -> int:

@@ -6,10 +6,19 @@ Mirrors the original artifact's ``nv`` binary: point it at an NV source file
     python -m repro simulate network.nv [--native] [--symbolic name=value ...]
     python -m repro verify network.nv
     python -m repro fault network.nv [--links N] [--nodes] [--witnesses]
+    python -m repro explain network.nv NODE
     python -m repro translate configs_dir/ [--assert-prefix A.B.C.D/L] [-o out.nv]
 
 Symbolic values on the command line use NV literal syntax
 (``--symbolic route=None``, ``--symbolic x=5u8``).
+
+Observability flags shared by the analysis commands (see README
+"Observability"):
+
+* ``--stats`` collects and prints the flat :mod:`repro.perf` counters;
+* ``--trace`` prints a hierarchical span tree (pipeline passes, simulation,
+  SMT phases) with inclusive/exclusive times and per-span counter deltas;
+* ``--trace-json FILE`` streams span + timeline-event records as JSONL.
 """
 
 from __future__ import annotations
@@ -19,7 +28,7 @@ import sys
 from pathlib import Path
 from typing import Any
 
-from . import perf
+from . import obs, perf
 from .analysis.fault import fault_tolerance_analysis
 from .analysis.simulation import run_simulation
 from .analysis.verify import verify as smt_verify
@@ -34,8 +43,10 @@ from .srp.network import Network
 
 
 def _load_network(path: str) -> Network:
-    source = Path(path).read_text()
-    return Network.from_program(parse_program(source, resolve))
+    with obs.span("frontend.parse", file=path):
+        program = parse_program(Path(path).read_text(), resolve)
+    with obs.span("frontend.typecheck"):
+        return Network.from_program(program)
 
 
 def _parse_symbolics(pairs: list[str], net: Network) -> dict[str, Any]:
@@ -61,18 +72,58 @@ def _maybe_enable_stats(args: argparse.Namespace) -> None:
         perf.enable()
 
 
+def _tracing(args: argparse.Namespace) -> bool:
+    return bool(getattr(args, "trace", False)
+                or getattr(args, "trace_json", None))
+
+
 def cmd_simulate(args: argparse.Namespace) -> int:
     _maybe_enable_stats(args)
     net = _load_network(args.file)
     symbolics = _parse_symbolics(args.symbolic, net)
+    # --trace defaults to running the (value-preserving subset of the) §5.2
+    # pipeline so the span tree shows per-pass work; --lower/--no-lower
+    # overrides in either direction.
+    lower = args.lower if args.lower is not None else _tracing(args)
     report = run_simulation(net, symbolics,
-                            backend="native" if args.native else "interp")
+                            backend="native" if args.native else "interp",
+                            lower=lower)
     print(report.summary())
     if args.show_routes:
         print(report.solution.pretty(max_nodes=args.max_nodes))
     if report.violations:
         print(f"assertion violated at nodes: {report.violations}")
         return 1
+    return 0
+
+
+def cmd_explain(args: argparse.Namespace) -> int:
+    """``repro explain network.nv NODE``: simulate to convergence, then print
+    the provenance chain of NODE's stable route (which neighbour's trans
+    output the label came from, back to an init origin)."""
+    from .eval.compile_py import compile_network_functions
+    from .srp.network import functions_from_program
+    from .srp.provenance import explain
+    from .srp.simulate import simulate
+
+    _maybe_enable_stats(args)
+    net = _load_network(args.file)
+    if not 0 <= args.node < net.num_nodes:
+        raise SystemExit(f"node {args.node} out of range "
+                         f"(network has {net.num_nodes} nodes)")
+    symbolics = _parse_symbolics(args.symbolic, net)
+    with obs.span("sim.setup", backend="native" if args.native else "interp"):
+        if args.native:
+            funcs = compile_network_functions(net, symbolics)
+        else:
+            funcs = functions_from_program(net, symbolics)
+    with obs.span("sim.simulate", nodes=net.num_nodes, edges=len(net.edges)):
+        solution = simulate(funcs)
+    with obs.span("sim.provenance", node=args.node):
+        text = explain(funcs, solution.labels, args.node)
+    print(text)
+    if args.stats:
+        print(perf.report())
     return 0
 
 
@@ -132,6 +183,20 @@ def cmd_translate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _add_obs_args(p: argparse.ArgumentParser) -> None:
+    """The shared observability flags of every analysis subcommand."""
+    p.add_argument("--stats", action="store_true",
+                   help="collect and print repro.perf counters "
+                        "(cache hit rates, work done)")
+    p.add_argument("--trace", action="store_true",
+                   help="print a hierarchical span tree of the run "
+                        "(pipeline passes, simulation, SMT phases) with "
+                        "per-span counter deltas")
+    p.add_argument("--trace-json", metavar="FILE", default=None,
+                   help="stream structured span/event records (JSONL) "
+                        "to FILE; implies tracing")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -146,9 +211,12 @@ def build_parser() -> argparse.ArgumentParser:
                           metavar="NAME=VALUE")
     simulate.add_argument("--show-routes", action="store_true")
     simulate.add_argument("--max-nodes", type=int, default=50)
-    simulate.add_argument("--stats", action="store_true",
-                          help="collect and print repro.perf counters "
-                               "(cache hit rates, work done)")
+    simulate.add_argument("--lower", action=argparse.BooleanOptionalAction,
+                          default=None,
+                          help="run the value-preserving §5.2 passes "
+                               "(inline + partial-eval) before simulating "
+                               "(default: only under --trace)")
+    _add_obs_args(simulate)
     simulate.set_defaults(fn=cmd_simulate)
 
     verify = sub.add_parser("verify", help="SMT verification over all "
@@ -156,8 +224,7 @@ def build_parser() -> argparse.ArgumentParser:
     verify.add_argument("file")
     verify.add_argument("--max-conflicts", type=int, default=None)
     verify.add_argument("--show-routes", action="store_true")
-    verify.add_argument("--stats", action="store_true",
-                        help="collect and print repro.perf counters")
+    _add_obs_args(verify)
     verify.set_defaults(fn=cmd_verify)
 
     fault = sub.add_parser("fault", help="fault-tolerance meta-protocol (fig 5)")
@@ -171,9 +238,20 @@ def build_parser() -> argparse.ArgumentParser:
                        metavar="NAME=VALUE")
     fault.add_argument("--drop", default=None,
                        help="NV expression for the dropped route (default None)")
-    fault.add_argument("--stats", action="store_true",
-                       help="collect and print repro.perf counters")
+    _add_obs_args(fault)
     fault.set_defaults(fn=cmd_fault)
+
+    explain = sub.add_parser(
+        "explain", help="provenance: why did NODE's stable route win?")
+    explain.add_argument("file")
+    explain.add_argument("node", type=int,
+                         help="node whose stable route to explain")
+    explain.add_argument("--native", action="store_true",
+                         help="compile NV to Python first (§5.1)")
+    explain.add_argument("--symbolic", action="append", default=[],
+                         metavar="NAME=VALUE")
+    _add_obs_args(explain)
+    explain.set_defaults(fn=cmd_explain)
 
     translate = sub.add_parser("translate",
                                help="router configs -> NV program (§4)")
@@ -187,11 +265,26 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    tracing = _tracing(args)
+    if tracing:
+        # Spans carry perf-counter deltas, so tracing turns the counter
+        # registry on as well (a later --stats reset is harmless: nothing
+        # has accumulated yet).
+        obs.reset()
+        obs.enable(jsonl=args.trace_json)
+        perf.reset()
+        perf.enable()
     try:
-        return args.fn(args)
+        with obs.span(args.command, file=getattr(args, "file", None)):
+            return args.fn(args)
     except NvError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 3
+    finally:
+        if tracing:
+            obs.disable()
+            if getattr(args, "trace", False):
+                print(obs.render_tree())
 
 
 if __name__ == "__main__":

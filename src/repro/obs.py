@@ -1,0 +1,266 @@
+"""Structured tracing for NV analyses (``repro.obs``).
+
+Where :mod:`repro.perf` answers *how much work was done* with flat counters,
+this module answers *where the time went* and *what happened when*:
+
+* **Spans** are hierarchical timed regions (``transform.inline`` inside
+  ``transform.lower`` inside ``simulate``).  Each span records wall-clock
+  duration, arbitrary attributes, and — when the :mod:`repro.perf` registry
+  is enabled — the *delta* of every perf counter between span open and span
+  close, so a span tree doubles as a per-phase work breakdown.
+* **Events** are point-in-time timeline records (a simulator activation, a
+  SAT restart, a BDD unique-table growth sample) attached to the currently
+  open span.
+
+Design rules (mirroring :mod:`repro.perf`, enforced by ``tests/test_obs.py``):
+
+* **Near-zero overhead when disabled.**  ``span()`` yields ``None`` and
+  ``event()`` returns after a single module-global boolean check.  Hot loops
+  are expected to hoist ``obs.is_enabled()`` into a local before iterating.
+* **Exception safety.**  A span raised through is still closed (its ``error``
+  attribute records the exception type) and the span stack is restored.
+* **Thread safety.**  Span stacks are thread-local; completed root spans and
+  sink writes are guarded by a lock.  Spans opened on different threads form
+  separate trees.
+
+The JSONL sink (``enable(jsonl=...)``) streams one JSON object per line:
+
+    {"type": "span",  "id": 3, "parent": 1, "name": "smt.solve",
+     "t0": 0.012, "dur": 0.98, "attrs": {...}, "counters": {...}}
+    {"type": "event", "name": "sat.restart", "t": 0.52, "span": 3,
+     "attrs": {"conflicts": 1200}}
+
+Times are seconds relative to the moment tracing was enabled, so events and
+spans from every layer share one timeline.  Spans are written at *close* (a
+parent therefore appears after its children — consumers should key on
+``id``/``parent``); events are written immediately.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import threading
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from pathlib import Path
+from time import perf_counter
+from typing import Any, Iterator, TextIO
+
+from . import perf
+
+_enabled: bool = False
+_origin: float = 0.0
+_sink: TextIO | None = None
+_owns_sink: bool = False
+_lock = threading.Lock()
+_roots: list["Span"] = []
+_tls = threading.local()
+_ids = itertools.count(1)
+
+
+@dataclass
+class Span:
+    """One timed region of a traced run."""
+
+    name: str
+    attrs: dict[str, Any]
+    id: int = 0
+    parent_id: int = 0
+    t0: float = 0.0
+    dur: float = 0.0
+    n_events: int = 0
+    children: list["Span"] = field(default_factory=list)
+    counters: dict[str, int | float] = field(default_factory=dict)
+    _perf0: dict[str, int | float] | None = field(default=None, repr=False)
+
+    @property
+    def exclusive(self) -> float:
+        """Wall time spent in this span but not in any child span."""
+        return max(0.0, self.dur - sum(c.dur for c in self.children))
+
+
+def enable(jsonl: str | Path | TextIO | None = None) -> None:
+    """Turn tracing on.  ``jsonl`` optionally names a file (or supplies an
+    open text stream) that receives one JSON record per span/event."""
+    global _enabled, _origin, _sink, _owns_sink
+    if jsonl is None:
+        _sink, _owns_sink = None, False
+    elif hasattr(jsonl, "write"):
+        _sink, _owns_sink = jsonl, False  # caller-owned stream
+    else:
+        _sink, _owns_sink = open(jsonl, "w", encoding="utf-8"), True
+    _origin = perf_counter()
+    _enabled = True
+
+
+def disable() -> None:
+    """Turn tracing off and close a sink we opened (completed spans are
+    kept; call :func:`reset` to drop them)."""
+    global _enabled, _sink, _owns_sink
+    _enabled = False
+    if _sink is not None and _owns_sink:
+        _sink.close()
+    _sink, _owns_sink = None, False
+
+
+def is_enabled() -> bool:
+    return _enabled
+
+
+def reset() -> None:
+    """Drop all completed spans and any in-progress stacks."""
+    with _lock:
+        _roots.clear()
+    _tls.stack = []
+
+
+def roots() -> list[Span]:
+    """Completed root spans, in completion order (all threads)."""
+    with _lock:
+        return list(_roots)
+
+
+def current() -> Span | None:
+    """The innermost open span on this thread, if any."""
+    stack = getattr(_tls, "stack", None)
+    return stack[-1] if stack else None
+
+
+def _jsonable(value: Any) -> Any:
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return repr(value)
+
+
+def _write(record: dict[str, Any]) -> None:
+    if _sink is None:
+        return
+    line = json.dumps(record, default=repr)
+    with _lock:
+        _sink.write(line + "\n")
+
+
+def event(name: str, **attrs: Any) -> None:
+    """Record a point-in-time event on the current span's timeline.
+    No-op when tracing is disabled."""
+    if not _enabled:
+        return
+    t = perf_counter() - _origin
+    sp = current()
+    if sp is not None:
+        sp.n_events += 1
+    _write({"type": "event", "name": name, "t": round(t, 6),
+            "span": sp.id if sp is not None else 0,
+            "attrs": {k: _jsonable(v) for k, v in attrs.items()}})
+
+
+@contextmanager
+def span(name: str, **attrs: Any) -> Iterator[Span | None]:
+    """Open a nested span.  Yields the :class:`Span` (mutate ``sp.attrs`` to
+    attach results discovered mid-flight) or ``None`` when disabled."""
+    if not _enabled:
+        yield None
+        return
+    sp = Span(name=name, attrs=dict(attrs), id=next(_ids))
+    stack = getattr(_tls, "stack", None)
+    if stack is None:
+        stack = _tls.stack = []
+    parent = stack[-1] if stack else None
+    sp.parent_id = parent.id if parent is not None else 0
+    if perf.is_enabled():
+        sp._perf0 = perf.snapshot()
+    sp.t0 = perf_counter() - _origin
+    stack.append(sp)
+    try:
+        yield sp
+    except BaseException as exc:
+        sp.attrs["error"] = type(exc).__name__
+        raise
+    finally:
+        sp.dur = (perf_counter() - _origin) - sp.t0
+        if sp._perf0 is not None:
+            now = perf.snapshot()
+            base = sp._perf0
+            sp.counters = {
+                k: round(v - base.get(k, 0), 6) if isinstance(v, float)
+                else v - base.get(k, 0)
+                for k, v in now.items() if v != base.get(k, 0)
+            }
+            sp._perf0 = None
+        # The stack top is always `sp`: inner spans are closed by their own
+        # context managers before this finally runs, even on exceptions.
+        if stack and stack[-1] is sp:
+            stack.pop()
+        if parent is not None:
+            parent.children.append(sp)
+        else:
+            with _lock:
+                _roots.append(sp)
+        _write({"type": "span", "id": sp.id, "parent": sp.parent_id,
+                "name": sp.name, "t0": round(sp.t0, 6),
+                "dur": round(sp.dur, 6), "events": sp.n_events,
+                "attrs": {k: _jsonable(v) for k, v in sp.attrs.items()},
+                "counters": sp.counters})
+
+
+@contextmanager
+def session(jsonl: str | Path | TextIO | None = None) -> Iterator[None]:
+    """Enable tracing for a ``with`` block, restoring the previous state."""
+    prev = _enabled
+    enable(jsonl)
+    try:
+        yield
+    finally:
+        disable()
+        if prev:
+            enable()
+
+
+# ----------------------------------------------------------------------
+# Rendering
+# ----------------------------------------------------------------------
+
+def _fmt_time(seconds: float) -> str:
+    if seconds >= 1.0:
+        return f"{seconds:.3f}s"
+    return f"{seconds * 1e3:.1f}ms"
+
+
+def _fmt_attrs(sp: Span, max_counters: int = 4) -> str:
+    parts = [f"{k}={_jsonable(v)}" for k, v in sp.attrs.items()]
+    if sp.counters:
+        top = sorted(
+            ((k, v) for k, v in sp.counters.items() if isinstance(v, int)),
+            key=lambda kv: -abs(kv[1]))[:max_counters]
+        parts.extend(f"Δ{k}={v:+d}" for k, v in top)
+    if sp.n_events:
+        parts.append(f"{sp.n_events} events")
+    return ("  {" + ", ".join(parts) + "}") if parts else ""
+
+
+def render_tree(spans: list[Span] | None = None) -> str:
+    """A human-readable span tree with inclusive and exclusive wall times.
+
+    ``spans`` defaults to the completed root spans of the live tracer.
+    """
+    if spans is None:
+        spans = roots()
+    if not spans:
+        return "trace: no spans recorded (is repro.obs enabled?)"
+    lines = [f"trace ({len(spans)} root span{'s' if len(spans) != 1 else ''}):"]
+
+    def walk(sp: Span, prefix: str, child_prefix: str) -> None:
+        timing = _fmt_time(sp.dur)
+        if sp.children:
+            timing += f" (self {_fmt_time(sp.exclusive)})"
+        lines.append(f"{prefix}{sp.name:<32s} {timing:>18s}{_fmt_attrs(sp)}")
+        for i, child in enumerate(sp.children):
+            last = i == len(sp.children) - 1
+            walk(child,
+                 child_prefix + ("└─ " if last else "├─ "),
+                 child_prefix + ("   " if last else "│  "))
+
+    for root in spans:
+        walk(root, "", "")
+    return "\n".join(lines)

@@ -129,31 +129,48 @@ def hit_rate(stats: Mapping[str, int | float], base: str) -> float | None:
 def report(stats: Mapping[str, int | float] | None = None) -> str:
     """Human-readable rendering of a snapshot, with derived cache hit rates.
 
-    ``stats`` defaults to the live registry contents.
+    ``stats`` defaults to the live registry contents.  Counters are grouped
+    by their ``<layer>.`` prefix; within each group, plain counters come
+    first, then that group's derived hit rates, then its timers — so a
+    layer's work and where its time went read as one block instead of being
+    interleaved alphabetically across layers.  Value columns widen to fit
+    (no more overflowing ``{:12d}`` fields once counters pass 1e12) and use
+    thousands separators.
     """
     if stats is None:
         stats = snapshot()
     if not stats:
         return "perf: no counters recorded (is repro.perf enabled?)"
+
+    groups: dict[str, list[str]] = {}
+    for name in stats:
+        layer = name.split(".", 1)[0] if "." in name else "(other)"
+        groups.setdefault(layer, []).append(name)
+
+    name_w = max(max(len(n) + 9 for n in stats), 40)  # room for " hit rate"
+    val_w = max((len(f"{v:,d}") for v in stats.values()
+                 if not isinstance(v, float)), default=0)
+    val_w = max(val_w, 12)
+
     lines = ["perf counters:"]
-    for name in sorted(stats):
-        value = stats[name]
-        if isinstance(value, float):
-            lines.append(f"  {name:<40s} {value:12.6f}s")
-        else:
-            lines.append(f"  {name:<40s} {value:12d}")
-    rates = []
-    seen = set()
-    for name in sorted(stats):
-        for suffix in ("_hits", "_misses"):
-            if name.endswith(suffix):
-                base = name[: -len(suffix)]
-                if base not in seen:
-                    seen.add(base)
-                    rate = hit_rate(stats, base)
-                    if rate is not None:
-                        rates.append(f"  {base + ' hit rate':<40s} {rate:11.1%}")
-    if rates:
-        lines.append("derived:")
-        lines.extend(rates)
+    for layer in sorted(groups):
+        names = sorted(groups[layer])
+        counters = [n for n in names if not isinstance(stats[n], float)]
+        timers = [n for n in names if isinstance(stats[n], float)]
+        lines.append(f"  {layer}:")
+        for n in counters:
+            lines.append(f"    {n:<{name_w}s} {stats[n]:>{val_w},d}")
+        seen: set[str] = set()
+        for n in counters:
+            for suffix in ("_hits", "_misses"):
+                if n.endswith(suffix):
+                    base = n[: -len(suffix)]
+                    if base not in seen:
+                        seen.add(base)
+                        rate = hit_rate(stats, base)
+                        if rate is not None:
+                            lines.append(f"    {base + ' hit rate':<{name_w}s}"
+                                         f" {rate:>{val_w - 1}.1%}")
+        for n in timers:
+            lines.append(f"    {n:<{name_w}s} {stats[n]:>{val_w}.6f}s")
     return "\n".join(lines)

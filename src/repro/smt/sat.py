@@ -14,6 +14,12 @@ from __future__ import annotations
 
 from typing import Iterable, Sequence
 
+from .. import obs
+
+#: Emit a ``sat.progress`` timeline event every this many conflicts while
+#: tracing (see :mod:`repro.obs`); restarts are always emitted.
+_CONFLICT_SAMPLE = 512
+
 
 class _VarHeap:
     """Indexed binary max-heap over variable activities (MiniSat's order)."""
@@ -122,6 +128,7 @@ class SatSolver:
         self.learnts: list[list[int]] = []
         self.lbd: dict[int, int] = {}
         self.max_learnts = 4000
+        self._trace = False      # hoisted obs.is_enabled(); set by solve()
         for clause in clauses:
             self.add_clause(clause)
 
@@ -386,6 +393,7 @@ class SatSolver:
         if self._propagate() is not None:
             self.ok = False
             return False
+        self._trace = obs.is_enabled()
         restart_idx = 0
         while True:
             budget = 100 * _luby(restart_idx)
@@ -396,6 +404,10 @@ class SatSolver:
             if max_conflicts is not None and self.conflicts >= max_conflicts:
                 return None
             self.restarts += 1
+            if self._trace:
+                obs.event("sat.restart", restarts=self.restarts,
+                          conflicts=self.conflicts, decisions=self.decisions,
+                          learnts=len(self.learnts), next_budget=100 * _luby(restart_idx))
             self._backjump(0)
 
     def _search(self, budget: int, max_conflicts: int | None) -> bool | None:
@@ -405,6 +417,13 @@ class SatSolver:
             if conflict is not None:
                 self.conflicts += 1
                 local_conflicts += 1
+                if self._trace and self.conflicts % _CONFLICT_SAMPLE == 0:
+                    # Periodic conflict-timeline checkpoint (sampled so a
+                    # traced run does not drown in per-conflict records).
+                    obs.event("sat.progress", conflicts=self.conflicts,
+                              decisions=self.decisions,
+                              propagations=self.propagations,
+                              trail=len(self.trail), learnts=len(self.learnts))
                 if len(self.trail_lim) == 0:
                     self.ok = False
                     return False

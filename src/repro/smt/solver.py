@@ -11,7 +11,7 @@ import sys
 from dataclasses import dataclass, field
 from time import perf_counter
 
-from .. import perf
+from .. import obs, perf
 from .bitblast import BitBlaster
 from .cnf import Tseitin
 from .sat import SatSolver
@@ -63,25 +63,36 @@ class Solver:
 
     def _check(self, max_conflicts: int | None) -> SmtResult:
         t0 = perf_counter()
-        blaster = BitBlaster(self.tm)
-        tseitin = Tseitin(self.tm)
-        for term in self.assertions:
-            tseitin.assert_term(blaster.blast_bool(term))
-        cnf = tseitin.cnf
+        with obs.span("smt.bitblast", assertions=len(self.assertions)) as sp:
+            blaster = BitBlaster(self.tm)
+            tseitin = Tseitin(self.tm)
+            for term in self.assertions:
+                tseitin.assert_term(blaster.blast_bool(term))
+            cnf = tseitin.cnf
+            if sp is not None:
+                sp.attrs.update(vars=cnf.num_vars, clauses=len(cnf.clauses))
         encode_seconds = perf_counter() - t0
 
         t0 = perf_counter()
-        solver = SatSolver(cnf.num_vars, cnf.clauses)
-        # Structural decision hint: branch on option tags (route present or
-        # not) before route contents.  Tags drive the control flow of every
-        # transfer/merge function, so deciding them first lets propagation
-        # fix most payload bits — empirically 2-3x on the UNSAT
-        # reachability instances.
-        for name, var in cnf.name_var.items():
-            if ".tag" in name:
-                solver.activity[var] = 1.0
-                solver.order.increased(var)
-        outcome = solver.solve(max_conflicts)
+        with obs.span("smt.solve", vars=cnf.num_vars,
+                      clauses=len(cnf.clauses)) as sp:
+            solver = SatSolver(cnf.num_vars, cnf.clauses)
+            # Structural decision hint: branch on option tags (route present
+            # or not) before route contents.  Tags drive the control flow of
+            # every transfer/merge function, so deciding them first lets
+            # propagation fix most payload bits — empirically 2-3x on the
+            # UNSAT reachability instances.
+            for name, var in cnf.name_var.items():
+                if ".tag" in name:
+                    solver.activity[var] = 1.0
+                    solver.order.increased(var)
+            outcome = solver.solve(max_conflicts)
+            if sp is not None:
+                sp.attrs.update(
+                    status=("unknown" if outcome is None
+                            else ("sat" if outcome else "unsat")),
+                    conflicts=solver.conflicts, decisions=solver.decisions,
+                    restarts=solver.restarts)
         solve_seconds = perf_counter() - t0
 
         result = SmtResult(

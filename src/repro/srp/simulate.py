@@ -37,8 +37,8 @@ from __future__ import annotations
 from collections import deque
 from typing import Any
 
-from .. import perf
-from ..eval.values import ValueInterner
+from .. import obs, perf
+from ..eval.values import ValueInterner, value_repr
 from ..lang.errors import NvRuntimeError
 from .network import NetworkFunctions
 from .solution import Solution
@@ -139,12 +139,20 @@ def simulate(funcs: NetworkFunctions, max_iterations: int | None = None,
     messages = 0
     limit = max_iterations if max_iterations is not None else 100 * n * max(len(funcs.edges), 1)
 
+    # Tracing is hoisted to one local bool: when off, the hot loop pays a
+    # single falsy check per activation/label change (see repro.obs rules).
+    tracing = obs.is_enabled()
+    obs_event = obs.event
+
     def update(v: int, route: Any) -> None:
         old = labels[v]
         if route is old:
             return
         if route != old:
             labels[v] = route
+            if tracing:
+                obs_event("sim.label_change", node=v, iteration=iterations,
+                          route=value_repr(route))
             if not in_queue[v]:
                 in_queue[v] = True
                 queue.append(v)
@@ -158,7 +166,12 @@ def simulate(funcs: NetworkFunctions, max_iterations: int | None = None,
         u = queue.popleft()
         in_queue[u] = False
         attr_u = labels[u]
-        if attr_u is last_pushed[u]:
+        skipped = attr_u is last_pushed[u]
+        if tracing:
+            # Convergence timeline: one activation event per worklist pop.
+            obs_event("sim.activation", node=u, iteration=iterations,
+                      worklist=len(queue), skipped=skipped)
+        if skipped:
             # Identical re-push: every neighbour already received exactly
             # these routes (interned identity), so all sends are no-ops.
             stats["skipped_activations"] += 1
@@ -198,6 +211,9 @@ def simulate(funcs: NetworkFunctions, max_iterations: int | None = None,
     stats["messages"] = messages
     if memoize:
         stats["interned_routes"] = len(interner)
+    if tracing:
+        obs_event("sim.converged", iterations=iterations, messages=messages,
+                  skipped=stats["skipped_activations"])
     perf.merge(stats, prefix="sim.")
     return Solution(labels, iterations=iterations, messages=messages,
                     stats=stats)

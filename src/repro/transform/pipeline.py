@@ -21,12 +21,50 @@ inlining specialises every helper at its use sites.
 
 from __future__ import annotations
 
+from typing import Callable
+
+from .. import obs, perf
 from ..lang import ast as A
 from ..lang.typecheck import check_program
 from .flatten import flatten_program, records_to_tuples_program
 from .inline import inline_program
 from .partial_eval import partial_eval_program
 from .unbox_options import unbox_program
+
+
+def ast_size(program: A.Program) -> int:
+    """The number of expression nodes in a program (per-pass span metric)."""
+    stack: list[A.Expr] = []
+    for d in program.decls:
+        if isinstance(d, (A.DLet, A.DRequire)):
+            stack.append(d.expr)
+    n = 0
+    while stack:
+        e = stack.pop()
+        n += 1
+        stack.extend(e.children())
+    return n
+
+
+def _run_pass(name: str, fn: Callable[[A.Program], A.Program],
+              program: A.Program, recheck: bool = True) -> A.Program:
+    """Run one §5.2 pass under a ``transform.<name>`` span, recording the
+    AST node-count delta and flushing it into :mod:`repro.perf`."""
+    tracing = obs.is_enabled()
+    before = ast_size(program) if (tracing or perf.is_enabled()) else 0
+    with obs.span(f"transform.{name}") as sp:
+        program = fn(program)
+        if recheck:
+            # Shape-changing passes invalidate annotations; re-infer types.
+            check_program(program)
+        if tracing or perf.is_enabled():
+            after = ast_size(program)
+            perf.merge({f"{name}_nodes_in": before,
+                        f"{name}_nodes_out": after}, prefix="transform.")
+            if sp is not None:
+                sp.attrs.update(ast_nodes_before=before, ast_nodes_after=after,
+                                ast_nodes_delta=after - before)
+    return program
 
 
 def lower_program(program: A.Program, unbox: bool = True,
@@ -36,22 +74,22 @@ def lower_program(program: A.Program, unbox: bool = True,
 
     ``unroll=True`` additionally eliminates maps into tuples (sound only for
     programs obeying the §3.1 key discipline; see
-    :mod:`repro.transform.map_unrolling`)."""
-    program = inline_program(program)
-    check_program(program)
-    if unroll:
-        from .map_unrolling import unroll_program
-        program = unroll_program(program)
-        check_program(program)
-    if unbox:
-        program = unbox_program(program)
-        check_program(program)
-    if flatten:
-        program = records_to_tuples_program(program)
-        check_program(program)
-        program = flatten_program(program)
-        check_program(program)
-    if partial:
-        program = partial_eval_program(program)
-        check_program(program)
+    :mod:`repro.transform.map_unrolling`).
+
+    Each pass runs under a ``transform.<pass>`` span (see :mod:`repro.obs`)
+    that records the AST node-count delta, so ``--trace`` shows where the
+    pipeline grows or shrinks the program."""
+    with obs.span("transform.lower"):
+        program = _run_pass("inline", inline_program, program)
+        if unroll:
+            from .map_unrolling import unroll_program
+            program = _run_pass("unroll_maps", unroll_program, program)
+        if unbox:
+            program = _run_pass("unbox_options", unbox_program, program)
+        if flatten:
+            program = _run_pass("records_to_tuples",
+                                records_to_tuples_program, program)
+            program = _run_pass("flatten_tuples", flatten_program, program)
+        if partial:
+            program = _run_pass("partial_eval", partial_eval_program, program)
     return program

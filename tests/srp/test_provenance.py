@@ -1,0 +1,108 @@
+"""Route provenance tests (repro.srp.provenance).
+
+The key acceptance property: a derivation chain is *replayable* — starting
+from init at the origin and applying trans along each via edge reproduces
+every stable label on the chain.
+"""
+
+import pytest
+
+from repro.srp.network import NetworkFunctions, functions_from_program
+from repro.srp.provenance import (Derivation, derivation_chain, derive_node,
+                                  explain, replay_chain)
+from repro.srp.simulate import simulate
+from tests.helpers import RIP_TRIANGLE, load
+
+RIP_CHAIN = """
+include rip
+let nodes = 4
+let edges = {0n=1n; 1n=2n; 2n=3n}
+let trans e x = transRip e x
+let merge u x y = mergeRip u x y
+let init (u : node) = if u = 0n then Some 0u8 else None
+let assert (u : node) (x : rip) =
+  match x with | None -> false | Some h -> h <= 3u8
+"""
+
+
+def solved(source: str):
+    funcs = functions_from_program(load(source))
+    return funcs, simulate(funcs).labels
+
+
+class TestDeriveNode:
+    def test_origin_is_init(self):
+        funcs, labels = solved(RIP_TRIANGLE)
+        d = derive_node(funcs, labels, 0)
+        assert d.kind == "init"
+        assert d.parent is None
+
+    def test_downstream_is_via(self):
+        funcs, labels = solved(RIP_TRIANGLE)
+        d = derive_node(funcs, labels, 1)
+        assert d.kind == "via"
+        assert d.edge == (0, 1)
+        assert d.parent == 0
+
+    def test_init_trumps_echo(self):
+        # Node 0's own Some 0 beats any neighbour echo: always "init".
+        funcs, labels = solved(RIP_CHAIN)
+        assert derive_node(funcs, labels, 0).kind == "init"
+
+    def test_merged_kind(self):
+        # A non-selective algebra: componentwise max over pairs.  Node 2
+        # hears (1,0) from node 0 and (0,1) from node 1; its stable label
+        # (1,1) matches neither operand alone -> "merged", both contribute.
+        funcs = NetworkFunctions(
+            num_nodes=3,
+            edges=((0, 2), (1, 2)),
+            init=lambda u: {0: (1, 0), 1: (0, 1), 2: (0, 0)}[u],
+            trans=lambda e, x: x,
+            merge=lambda u, x, y: (max(x[0], y[0]), max(x[1], y[1])),
+        )
+        labels = simulate(funcs).labels
+        assert labels[2] == (1, 1)
+        d = derive_node(funcs, labels, 2)
+        assert d.kind == "merged"
+        assert set(d.contributors) == {0, 1}
+
+
+class TestChainReplay:
+    def test_chain_shape(self):
+        funcs, labels = solved(RIP_CHAIN)
+        chain = derivation_chain(funcs, labels, 3)
+        assert [d.node for d in chain] == [3, 2, 1, 0]
+        assert [d.kind for d in chain] == ["via", "via", "via", "init"]
+        assert [d.edge for d in chain[:-1]] == [(2, 3), (1, 2), (0, 1)]
+
+    def test_replay_recovers_stable_labels(self):
+        # The acceptance criterion: replaying trans along the chain from the
+        # origin's init reproduces every node's converged label.
+        for source in (RIP_TRIANGLE, RIP_CHAIN):
+            funcs, labels = solved(source)
+            for node in range(funcs.num_nodes):
+                chain = derivation_chain(funcs, labels, node)
+                replayed = replay_chain(funcs, chain)
+                assert replayed == [labels[d.node] for d in chain]
+                assert replayed[0] == labels[node]
+
+    def test_replay_rejects_non_init_chain(self):
+        funcs, labels = solved(RIP_TRIANGLE)
+        merged = [Derivation(1, labels[1], "merged")]
+        with pytest.raises(ValueError):
+            replay_chain(funcs, merged)
+
+
+class TestExplain:
+    def test_explain_text(self):
+        funcs, labels = solved(RIP_CHAIN)
+        text = explain(funcs, labels, 2)
+        assert "provenance for node 2" in text
+        assert "trans over edge (1,2) from node 1" in text
+        assert "trans over edge (0,1) from node 0" in text
+        assert "init (origin)" in text
+
+    def test_out_of_range(self):
+        funcs, labels = solved(RIP_TRIANGLE)
+        with pytest.raises(ValueError):
+            explain(funcs, labels, 99)

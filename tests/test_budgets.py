@@ -1,0 +1,97 @@
+"""Counter-budget gate tests (repro.budgets).
+
+Deterministic work counters are the CI regression signal (wall-clock is
+noise).  These tests check the comparison machinery, that the checked-in
+budget file matches a fresh run, and — crucially — that the gate
+demonstrably *fails* when an optimisation is ablated.
+"""
+
+import json
+
+import pytest
+
+from repro.budgets import (ABS_SLACK, DEFAULT_BUDGETS, CounterDrift,
+                           check_budgets, compare_counters, drift_table,
+                           load_budgets, main, run_workload)
+
+
+class TestCompare:
+    def test_within_tolerance_ok(self):
+        rows = compare_counters("w", {"a.x": 100}, {"a.x": 105}, 0.10)
+        assert [r.ok for r in rows] == [True]
+        assert rows[0].drift == pytest.approx(0.05)
+
+    def test_beyond_tolerance_fails(self):
+        (row,) = compare_counters("w", {"a.x": 100}, {"a.x": 120}, 0.10)
+        assert not row.ok
+        assert row.drift == pytest.approx(0.20)
+
+    def test_absolute_slack_for_tiny_counters(self):
+        # 3 -> 5 is +67% but within the ABS_SLACK=2 wiggle room.
+        (row,) = compare_counters("w", {"a.x": 3}, {"a.x": 3 + ABS_SLACK}, 0.10)
+        assert row.ok
+        (row,) = compare_counters("w", {"a.x": 3},
+                                  {"a.x": 3 + ABS_SLACK + 1}, 0.10)
+        assert not row.ok
+
+    def test_vanished_counter_is_a_failure(self):
+        # A counter family disappearing (e.g. a memo cache removed) compares
+        # against 0 and fails rather than being silently skipped.
+        (row,) = compare_counters("w", {"a.cache_hits": 1000}, {}, 0.10)
+        assert row.actual == 0 and not row.ok
+        assert row.drift == pytest.approx(-1.0)
+
+    def test_new_counter_is_a_failure(self):
+        (row,) = compare_counters("w", {}, {"a.extra": 500}, 0.10)
+        assert row.expected == 0 and not row.ok
+        assert row.drift == float("inf")
+
+    def test_drift_table_renders(self):
+        rows = [CounterDrift("w", "a.x", 100, 120, 0.10),
+                CounterDrift("w", "a.y", 50, 50, 0.10)]
+        table = drift_table(rows)
+        assert "FAIL" in table and "ok" in table and "+20.0%" in table
+        assert "a.y" not in drift_table(rows, only_failures=True)
+
+
+class TestGate:
+    def test_workload_counters_deterministic(self):
+        a = run_workload("rip_triangle_sim")
+        b = run_workload("rip_triangle_sim")
+        assert a and a == b
+
+    def test_checked_in_budgets_pass(self):
+        budgets = load_budgets(DEFAULT_BUDGETS)
+        rows = check_budgets(budgets, workloads=["rip_triangle_sim"])
+        assert rows and all(r.ok for r in rows)
+
+    def test_gate_trips_on_memo_ablation(self):
+        # Disabling the simulator memo layer must be caught: cache-hit
+        # counters collapse and the comparison fails loudly.
+        budgets = load_budgets(DEFAULT_BUDGETS)
+        rows = check_budgets(budgets, workloads=["rip_triangle_sim"],
+                             ablations=frozenset({"sim-memo"}))
+        assert any(not r.ok for r in rows)
+
+    def test_cli_reports_and_exits(self, tmp_path, capsys):
+        report = tmp_path / "report.json"
+        rc = main(["--workload", "rip_triangle_sim",
+                   "--json", str(report)])
+        assert rc == 0
+        assert "counter budget gate passed" in capsys.readouterr().out
+        data = json.loads(report.read_text())
+        assert data["failures"] == 0 and data["rows"]
+
+    def test_cli_update_roundtrip(self, tmp_path, capsys):
+        path = tmp_path / "budgets.json"
+        assert main(["--budgets", str(path), "--update",
+                     "--workload", "rip_triangle_sim"]) == 0
+        assert main(["--budgets", str(path),
+                     "--workload", "rip_triangle_sim"]) == 0
+
+    def test_cli_failure_exit_code(self, capsys):
+        rc = main(["--workload", "rip_triangle_sim", "--ablate", "sim-memo"])
+        assert rc == 1
+        captured = capsys.readouterr()
+        assert "FAIL" in captured.out
+        assert "counter budget gate FAILED" in captured.err

@@ -1,5 +1,7 @@
 """CLI tests: every subcommand end to end on temporary files."""
 
+import json
+
 import pytest
 
 from repro.cli import main
@@ -99,6 +101,90 @@ router bgp 2
     def test_empty_directory(self, tmp_path):
         with pytest.raises(SystemExit):
             main(["translate", str(tmp_path)])
+
+
+class TestObservability:
+    """--stats / --trace / --trace-json and the explain subcommand."""
+
+    def test_simulate_stats(self, triangle_file, capsys):
+        assert main(["simulate", triangle_file, "--stats"]) == 0
+        out = capsys.readouterr().out
+        assert "perf counters:" in out
+        assert "sim.activations" in out
+
+    def test_simulate_trace_tree(self, triangle_file, capsys):
+        assert main(["simulate", triangle_file, "--trace"]) == 0
+        out = capsys.readouterr().out
+        # The span tree covers the frontend, the lowering pipeline's
+        # individual passes, and the simulation phases.
+        assert "trace (1 root span):" in out
+        assert "frontend.parse" in out and "frontend.typecheck" in out
+        assert "transform.lower" in out and "transform.inline" in out
+        assert "sim.simulate" in out and "sim.assertions" in out
+
+    def test_simulate_trace_json(self, triangle_file, tmp_path, capsys):
+        trace = tmp_path / "trace.jsonl"
+        assert main(["simulate", triangle_file,
+                     "--trace-json", str(trace)]) == 0
+        records = [json.loads(line) for line in
+                   trace.read_text().strip().splitlines()]
+        kinds = {r["type"] for r in records}
+        assert kinds == {"span", "event"}
+        spans = {r["name"] for r in records if r["type"] == "span"}
+        assert {"simulate", "frontend.parse", "sim.simulate"} <= spans
+        events = {r["name"] for r in records if r["type"] == "event"}
+        assert "sim.activation" in events and "sim.converged" in events
+        # Without --trace, no tree is printed.
+        assert "trace (" not in capsys.readouterr().out
+
+    def test_trace_does_not_change_routes(self, triangle_file, capsys):
+        assert main(["simulate", triangle_file, "--trace",
+                     "--show-routes"]) == 0
+        assert "node 0: Some 0" in capsys.readouterr().out
+
+    def test_no_lower_override(self, triangle_file, capsys):
+        assert main(["simulate", triangle_file, "--trace", "--no-lower"]) == 0
+        out = capsys.readouterr().out
+        assert "transform.lower" not in out
+        assert "sim.simulate" in out
+
+    def test_verify_trace_smt_spans(self, triangle_file, capsys):
+        assert main(["verify", triangle_file, "--trace"]) == 0
+        out = capsys.readouterr().out
+        assert "smt.encode" in out
+        assert "smt.bitblast" in out
+        assert "smt.solve" in out
+
+    def test_fault_trace(self, tmp_path, capsys):
+        f = tmp_path / "tri.nv"
+        f.write_text(RIP_TRIANGLE.replace("h <= 1u8", "h <= 2u8"))
+        assert main(["fault", str(f), "--trace"]) == 0
+        out = capsys.readouterr().out
+        assert "fault.transform" in out and "fault.classes" in out
+
+
+class TestExplain:
+    def test_chain_to_origin(self, triangle_file, capsys):
+        assert main(["explain", triangle_file, "2"]) == 0
+        out = capsys.readouterr().out
+        assert "provenance for node 2" in out
+        assert "init (origin)" in out
+        assert "trans over edge" in out
+
+    def test_origin_node(self, triangle_file, capsys):
+        assert main(["explain", triangle_file, "0"]) == 0
+        out = capsys.readouterr().out
+        assert "provenance for node 0" in out
+        assert "init (origin)" in out
+        assert "trans over edge" not in out
+
+    def test_native_backend(self, triangle_file, capsys):
+        assert main(["explain", triangle_file, "1", "--native"]) == 0
+        assert "provenance for node 1" in capsys.readouterr().out
+
+    def test_out_of_range_node(self, triangle_file):
+        with pytest.raises(SystemExit):
+            main(["explain", triangle_file, "7"])
 
 
 class TestErrors:

@@ -1,0 +1,209 @@
+"""Unit tests for the structured tracer (repro.obs).
+
+Covers the design rules the module docstring promises: no-op when disabled,
+exception safety (spans close and the stack unwinds), nesting, perf-counter
+deltas, JSONL sink record shapes, and thread separation.
+"""
+
+import io
+import json
+import threading
+
+import pytest
+
+from repro import obs, perf
+
+
+@pytest.fixture(autouse=True)
+def clean_tracer():
+    """Every test starts and ends with a disabled, empty tracer."""
+    obs.disable()
+    obs.reset()
+    yield
+    obs.disable()
+    obs.reset()
+    perf.disable()
+    perf.reset()
+
+
+class TestDisabled:
+    def test_span_yields_none(self):
+        with obs.span("x") as sp:
+            assert sp is None
+        assert obs.roots() == []
+
+    def test_event_is_noop(self):
+        obs.event("e", detail=1)
+        assert obs.roots() == []
+
+    def test_render_tree_empty_message(self):
+        assert "no spans recorded" in obs.render_tree()
+
+
+class TestSpans:
+    def test_nesting_builds_tree(self):
+        obs.enable()
+        with obs.span("outer") as outer:
+            with obs.span("inner.a"):
+                pass
+            with obs.span("inner.b") as b:
+                assert obs.current() is b
+        roots = obs.roots()
+        assert [r.name for r in roots] == ["outer"]
+        assert [c.name for c in roots[0].children] == ["inner.a", "inner.b"]
+        assert outer.parent_id == 0
+        assert b.parent_id == outer.id
+
+    def test_exception_safety(self):
+        obs.enable()
+        with pytest.raises(ValueError):
+            with obs.span("outer"):
+                with obs.span("failing"):
+                    raise ValueError("boom")
+        # Both spans were closed and the stack fully unwound.
+        assert obs.current() is None
+        (outer,) = obs.roots()
+        (failing,) = outer.children
+        assert failing.attrs["error"] == "ValueError"
+        assert outer.attrs["error"] == "ValueError"
+        assert failing.dur >= 0.0
+
+    def test_attrs_mutable_midflight(self):
+        obs.enable()
+        with obs.span("s", fixed=1) as sp:
+            sp.attrs["result"] = "ok"
+        (root,) = obs.roots()
+        assert root.attrs == {"fixed": 1, "result": "ok"}
+
+    def test_exclusive_time(self):
+        obs.enable()
+        with obs.span("outer"):
+            with obs.span("inner"):
+                pass
+        (root,) = obs.roots()
+        assert 0.0 <= root.exclusive <= root.dur
+
+    def test_events_counted_on_current_span(self):
+        obs.enable()
+        with obs.span("s") as sp:
+            obs.event("tick")
+            obs.event("tick")
+        assert sp.n_events == 2
+
+    def test_counter_deltas(self):
+        perf.reset()
+        perf.enable()
+        perf.incr("layer.before", 5)
+        obs.enable()
+        with obs.span("s") as sp:
+            perf.incr("layer.work", 3)
+        # Only counters that moved inside the span appear, as deltas.
+        assert sp.counters == {"layer.work": 3}
+
+    def test_no_counters_when_perf_disabled(self):
+        obs.enable()
+        with obs.span("s") as sp:
+            pass
+        assert sp.counters == {}
+
+
+class TestJsonl:
+    def test_records_parse_and_reference_spans(self):
+        sink = io.StringIO()
+        obs.enable(jsonl=sink)
+        with obs.span("outer", k=1):
+            obs.event("mark", n=2)
+            with obs.span("inner"):
+                pass
+        obs.disable()
+        records = [json.loads(line) for line in
+                   sink.getvalue().strip().splitlines()]
+        assert len(records) == 3
+        by_type = {}
+        for r in records:
+            by_type.setdefault(r["type"], []).append(r)
+        (ev,) = by_type["event"]
+        inner, outer = by_type["span"]  # spans written at close: child first
+        assert inner["name"] == "inner"
+        assert outer["name"] == "outer"
+        assert inner["parent"] == outer["id"]
+        assert ev["span"] == outer["id"]
+        assert ev["attrs"] == {"n": 2}
+        assert outer["attrs"] == {"k": 1}
+        assert outer["events"] == 1
+        assert outer["dur"] >= inner["dur"] >= 0.0
+
+    def test_non_jsonable_attrs_repr(self):
+        sink = io.StringIO()
+        obs.enable(jsonl=sink)
+        with obs.span("s", obj=frozenset({1})):
+            pass
+        obs.disable()
+        (rec,) = [json.loads(line) for line in
+                  sink.getvalue().strip().splitlines()]
+        assert rec["attrs"]["obj"] == repr(frozenset({1}))
+
+    def test_file_sink_owned_and_closed(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with obs.session(jsonl=path):
+            with obs.span("s"):
+                pass
+        lines = path.read_text().strip().splitlines()
+        assert [json.loads(line)["name"] for line in lines] == ["s"]
+
+
+class TestSession:
+    def test_restores_previous_state(self):
+        assert not obs.is_enabled()
+        with obs.session():
+            assert obs.is_enabled()
+        assert not obs.is_enabled()
+
+    def test_restores_enabled_state(self):
+        obs.enable()
+        with obs.session():
+            pass
+        assert obs.is_enabled()
+
+
+class TestThreads:
+    def test_threads_get_separate_trees(self):
+        obs.enable()
+        errors = []
+
+        def worker(tag):
+            try:
+                with obs.span(f"root.{tag}"):
+                    with obs.span(f"child.{tag}"):
+                        pass
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(i,)) for i in range(4)]
+        with obs.span("main"):
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+        assert not errors
+        roots = {r.name for r in obs.roots()}
+        # Worker spans are roots of their own threads, not children of "main".
+        assert roots == {"main"} | {f"root.{i}" for i in range(4)}
+        (main,) = [r for r in obs.roots() if r.name == "main"]
+        assert main.children == []
+
+
+class TestRenderTree:
+    def test_tree_contains_names_times_and_attrs(self):
+        obs.enable()
+        with obs.span("outer", mode="x"):
+            with obs.span("inner.a"):
+                pass
+            with obs.span("inner.b"):
+                pass
+        out = obs.render_tree()
+        assert "trace (1 root span):" in out
+        assert "outer" in out and "inner.a" in out and "inner.b" in out
+        assert "mode=x" in out
+        assert "├─ " in out and "└─ " in out
+        assert "self " in out  # exclusive time shown for parents
