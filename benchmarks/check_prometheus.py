@@ -1,0 +1,159 @@
+"""Validator for the Prometheus text exposition format (0.0.4 subset).
+
+CI's run-report job feeds ``repro <analysis> --prometheus out.prom`` through
+this to guarantee the exporter always produces scrapeable output.  Usable as
+a module (:func:`validate_text`) or a CLI::
+
+    python benchmarks/check_prometheus.py out.prom
+
+Checks the invariants a real Prometheus scraper enforces:
+
+* metric names match ``[a-zA-Z_:][a-zA-Z0-9_:]*``; label names likewise
+  (no leading digits, no dots);
+* every sample line parses as ``name[{labels}] value`` with a float value
+  (``+Inf``/``-Inf``/``NaN`` accepted);
+* ``# TYPE`` appears at most once per metric and before its samples;
+* histogram metrics expose ``_bucket`` series with non-decreasing cumulative
+  counts, an ``le="+Inf"`` bucket, and matching ``_sum``/``_count`` series.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+_NAME = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*\Z")
+_SAMPLE = re.compile(
+    r"(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r"\s+(?P<value>\S+)"
+    r"(?:\s+(?P<ts>-?\d+))?\s*\Z")
+_LABEL = re.compile(
+    r"\s*(?P<name>[a-zA-Z_][a-zA-Z0-9_]*)=\"(?P<value>(?:[^\"\\]|\\.)*)\"\s*")
+_VALID_TYPES = {"counter", "gauge", "histogram", "summary", "untyped"}
+
+
+def _parse_value(text: str) -> float | None:
+    if text in ("+Inf", "Inf"):
+        return float("inf")
+    if text == "-Inf":
+        return float("-inf")
+    if text in ("NaN", "nan"):
+        return float("nan")
+    try:
+        return float(text)
+    except ValueError:
+        return None
+
+
+def validate_text(text: str) -> list[str]:
+    """Validate a Prometheus exposition; returns a list of error strings
+    (empty = valid)."""
+    errors: list[str] = []
+    types: dict[str, str] = {}
+    seen_samples: set[str] = set()
+    # name -> list of (le, cumulative count) for histogram checking.
+    buckets: dict[str, list[tuple[float, float]]] = {}
+    sums: set[str] = set()
+    counts: set[str] = set()
+
+    for lineno, line in enumerate(text.splitlines(), 1):
+        if not line.strip():
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) >= 2 and parts[1] == "TYPE":
+                if len(parts) < 4:
+                    errors.append(f"line {lineno}: malformed TYPE line")
+                    continue
+                name, kind = parts[2], parts[3].strip()
+                if not _NAME.match(name):
+                    errors.append(f"line {lineno}: bad metric name {name!r}")
+                if kind not in _VALID_TYPES:
+                    errors.append(f"line {lineno}: bad metric type {kind!r}")
+                if name in types:
+                    errors.append(f"line {lineno}: duplicate TYPE for {name}")
+                if name in seen_samples:
+                    errors.append(
+                        f"line {lineno}: TYPE for {name} after its samples")
+                types[name] = kind
+            continue  # HELP and other comments are free-form
+        m = _SAMPLE.match(line)
+        if not m:
+            errors.append(f"line {lineno}: unparseable sample {line!r}")
+            continue
+        name = m.group("name")
+        value = _parse_value(m.group("value"))
+        if value is None:
+            errors.append(
+                f"line {lineno}: bad sample value {m.group('value')!r}")
+            continue
+        labels: dict[str, str] = {}
+        raw = m.group("labels")
+        if raw:
+            pos = 0
+            while pos < len(raw):
+                lm = _LABEL.match(raw, pos)
+                if not lm:
+                    errors.append(
+                        f"line {lineno}: bad label syntax in {raw!r}")
+                    break
+                labels[lm.group("name")] = lm.group("value")
+                pos = lm.end()
+                if pos < len(raw) and raw[pos] == ",":
+                    pos += 1
+        seen_samples.add(name)
+        base = None
+        if name.endswith("_bucket"):
+            base = name[: -len("_bucket")]
+            le = labels.get("le")
+            if le is None:
+                errors.append(f"line {lineno}: _bucket sample without le")
+            else:
+                bound = _parse_value(le)
+                if bound is None:
+                    errors.append(f"line {lineno}: bad le value {le!r}")
+                else:
+                    buckets.setdefault(base, []).append((bound, value))
+        elif name.endswith("_sum"):
+            sums.add(name[: -len("_sum")])
+        elif name.endswith("_count"):
+            counts.add(name[: -len("_count")])
+
+    for base, series in buckets.items():
+        if types.get(base) not in (None, "histogram"):
+            continue
+        bounds = [b for b, _ in series]
+        if float("inf") not in bounds:
+            errors.append(f"histogram {base}: missing le=\"+Inf\" bucket")
+        ordered = sorted(series)
+        cumulative = [c for _, c in ordered]
+        if cumulative != sorted(cumulative):
+            errors.append(f"histogram {base}: bucket counts not cumulative")
+        if base not in sums:
+            errors.append(f"histogram {base}: missing {base}_sum")
+        if base not in counts:
+            errors.append(f"histogram {base}: missing {base}_count")
+    return errors
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    if len(argv) != 1:
+        print("usage: check_prometheus.py FILE", file=sys.stderr)
+        return 2
+    text = Path(argv[0]).read_text(encoding="utf-8")
+    errors = validate_text(text)
+    n_samples = sum(1 for line in text.splitlines()
+                    if line.strip() and not line.startswith("#"))
+    if errors:
+        for e in errors:
+            print(f"error: {e}", file=sys.stderr)
+        return 1
+    print(f"{argv[0]}: OK ({n_samples} samples)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

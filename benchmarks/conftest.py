@@ -22,7 +22,7 @@ from pathlib import Path
 
 import pytest
 
-from repro import perf
+from repro import metrics, obs, perf
 from repro.lang.parser import parse_program
 from repro.protocols import resolve
 from repro.srp.network import Network
@@ -31,6 +31,12 @@ from repro.srp.network import Network
 #: to the smallest instance — a CI smoke test that exercises the full
 #: pipeline (parse, compile, simulate, diagrams) in seconds.
 QUICK = os.environ.get("NV_BENCH_QUICK", "") not in ("", "0")
+
+#: ``NV_BENCH_REPORT=dir`` traces the whole benchmark session (spans +
+#: progress events into ``bench_trace.jsonl``, metrics snapshot into
+#: ``bench_metrics.json``) and renders a self-contained HTML run report at
+#: the end — CI uploads the report as an artifact.
+REPORT_DIR = os.environ.get("NV_BENCH_REPORT") or None
 
 
 def sizes(full: list, quick_count: int = 1) -> list:
@@ -53,6 +59,36 @@ def perf_counters():
     perf.disable()
 
 
+@pytest.fixture(scope="session", autouse=True)
+def bench_report_session():
+    """``NV_BENCH_REPORT``-gated session trace + metrics for the HTML run
+    report (no-op otherwise, so plain benchmark timing stays unperturbed)."""
+    if not REPORT_DIR:
+        yield
+        return
+    out = Path(REPORT_DIR)
+    out.mkdir(parents=True, exist_ok=True)
+    obs.reset()
+    obs.enable(jsonl=out / "bench_trace.jsonl")
+    metrics.reset()
+    metrics.enable()
+    yield
+    metrics.write_json(out / "bench_metrics.json")
+    metrics.disable()
+    obs.disable()
+
+
+@pytest.fixture(autouse=True)
+def bench_span(request):
+    """One span per benchmark test so the report's flame chart groups the
+    session by figure/case."""
+    if not REPORT_DIR:
+        yield
+        return
+    with obs.span(f"bench.{request.node.name}"):
+        yield
+
+
 def pytest_terminal_summary(terminalreporter, exitstatus, config):
     snap = perf.snapshot()
     if snap:
@@ -65,6 +101,17 @@ def pytest_terminal_summary(terminalreporter, exitstatus, config):
     if out and snap:
         Path(out).write_text(json.dumps(snap, indent=2, sort_keys=True) + "\n")
         terminalreporter.write_line(f"perf counter snapshot written to {out}")
+    if REPORT_DIR:
+        trace = Path(REPORT_DIR) / "bench_trace.jsonl"
+        if trace.exists():
+            from repro.report import generate
+
+            mjson = Path(REPORT_DIR) / "bench_metrics.json"
+            html = generate(trace,
+                            metrics_path=mjson if mjson.exists() else None,
+                            out_path=Path(REPORT_DIR) / "bench_report.html",
+                            title="benchmark session")
+            terminalreporter.write_line(f"HTML run report written to {html}")
 
 
 @pytest.fixture(scope="session")

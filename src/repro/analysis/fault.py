@@ -16,7 +16,7 @@ from dataclasses import dataclass, field
 from time import perf_counter
 from typing import Any
 
-from .. import obs, perf
+from .. import metrics, obs, perf
 from ..eval.interp import Interpreter, program_env
 from ..eval.maps import MapContext, NVMap
 from ..lang import types as T
@@ -84,7 +84,8 @@ def fault_tolerance_analysis(net: Network,
     turned into executable functions (the compiled backend passes its own).
     """
     t0 = perf_counter()
-    with obs.span("fault.transform", link_failures=num_link_failures,
+    with metrics.phase("fault.transform"), \
+         obs.span("fault.transform", link_failures=num_link_failures,
                   node_failures=node_failures):
         ft_net = fault_tolerance_transform(net, num_link_failures,
                                            node_failures, drop_body=drop_body)
@@ -100,7 +101,8 @@ def fault_tolerance_analysis(net: Network,
             funcs = functions_factory(ft_net, symbolics, ctx, interp)
 
     t0 = perf_counter()
-    with obs.span("sim.simulate", nodes=ft_net.num_nodes,
+    with metrics.phase("fault.simulate"), \
+         obs.span("sim.simulate", nodes=ft_net.num_nodes,
                   edges=len(ft_net.edges)) as sp:
         solution = simulate(funcs)
         if sp is not None:
@@ -126,7 +128,8 @@ def fault_tolerance_analysis(net: Network,
     reports: list[NodeFaultReport] = []
     witnesses: dict[int, Any] = {}
     key_ty = scenario_key_type(num_link_failures, node_failures)
-    with obs.span("fault.classes", witnesses=with_witnesses) as sp:
+    with metrics.phase("fault.classes"), \
+         obs.span("fault.classes", witnesses=with_witnesses) as sp:
         for u in range(ft_net.num_nodes):
             label = solution.labels[u]
             assert isinstance(label, NVMap)

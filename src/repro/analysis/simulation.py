@@ -12,7 +12,7 @@ from dataclasses import dataclass
 from time import perf_counter
 from typing import Any
 
-from .. import obs, perf
+from .. import metrics, obs, perf
 from ..eval.compile_py import compile_network_functions
 from ..srp.network import Network, functions_from_program
 from ..srp.simulate import simulate
@@ -86,7 +86,8 @@ def run_simulation(net: Network, symbolics: dict[str, Any] | None = None,
     setup_seconds = perf_counter() - t0
 
     t0 = perf_counter()
-    with obs.span("sim.simulate", nodes=net.num_nodes,
+    with metrics.phase("sim.simulate"), \
+         obs.span("sim.simulate", nodes=net.num_nodes,
                   edges=len(net.edges)) as sp:
         solution = simulate(funcs, incremental=incremental)
         if sp is not None:

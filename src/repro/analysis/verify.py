@@ -12,7 +12,7 @@ from __future__ import annotations
 from time import perf_counter
 from typing import Any
 
-from .. import obs
+from .. import metrics, obs
 from ..eval.values import VClosure, VRecord, VSome
 from ..lang import ast as A
 from ..lang import types as T
@@ -99,7 +99,8 @@ def verify(net: Network, simplify: bool = True,
     """Verify the network's assertion over all stable states and all
     assignments to symbolic values."""
     t0 = perf_counter()
-    with obs.span("smt.encode", nodes=net.num_nodes, edges=len(net.edges),
+    with metrics.phase("smt.encode"), \
+         obs.span("smt.encode", nodes=net.num_nodes, edges=len(net.edges),
                   simplify=simplify) as sp:
         enc, ev, prop = encode_network(net, simplify=simplify)
         solver = Solver(enc.tm)

@@ -16,9 +16,27 @@ arbitrary hashable value and live at the sentinel level ``LEAF_LEVEL``.
 
 from __future__ import annotations
 
+import itertools
 from typing import Any, Callable, Iterator
 
-from .. import obs
+from .. import metrics, obs
+
+_manager_ids = itertools.count(1)
+
+
+def _live_gauges(m: "BddManager") -> dict[str, int]:
+    """Structural gauges sampled by the heartbeat while this manager is
+    alive: unique-table and op-cache sizes (the quantities whose silent
+    ballooning the ISSUE calls out) plus combined op totals for rate
+    derivation."""
+    return {
+        "bdd.nodes": len(m._level),
+        "bdd.unique_entries": len(m._unique),
+        "bdd.leaves": len(m._leaf_table),
+        "bdd.op_cache_entries": m.op_cache_size(),
+        "bdd.op_ops": m.op_hits + m.op_misses,
+        "bdd.apply_ops": m.apply_hits + m.apply_misses,
+    }
 
 LEAF_LEVEL = 1 << 30
 
@@ -70,6 +88,11 @@ class BddManager:
         self.apply_hits = 0
         self.apply_misses = 0
         self._next_growth_sample = GROWTH_SAMPLE_INTERVAL
+        # Self-register as a live gauge provider (weakly: the provider
+        # drops out when the manager is collected).  No-op unless the
+        # metrics registry is enabled at construction time.
+        metrics.register_weak_provider(
+            f"bdd.manager.{next(_manager_ids)}", self, _live_gauges)
         self.false = self.leaf(False)
         self.true = self.leaf(True)
 

@@ -18,7 +18,16 @@ Observability flags shared by the analysis commands (see README
 * ``--stats`` collects and prints the flat :mod:`repro.perf` counters;
 * ``--trace`` prints a hierarchical span tree (pipeline passes, simulation,
   SMT phases) with inclusive/exclusive times and per-span counter deltas;
-* ``--trace-json FILE`` streams span + timeline-event records as JSONL.
+* ``--trace-json FILE`` streams span + timeline-event records as JSONL;
+* ``--progress`` renders a live stderr status line (heartbeat sampler);
+* ``--heartbeat SECONDS`` sets the sampling period (implies a heartbeat);
+* ``--metrics-json FILE`` / ``--prometheus FILE`` export the final
+  counter/gauge/histogram snapshot;
+* ``--mem`` adds tracemalloc memory accounting (per-span high-water marks);
+* ``--time-budget SECONDS`` warns when the run exceeds its wall-time budget.
+
+``python -m repro report trace.jsonl`` turns a trace (plus an optional
+metrics snapshot) into a self-contained HTML run report.
 """
 
 from __future__ import annotations
@@ -28,7 +37,7 @@ import sys
 from pathlib import Path
 from typing import Any
 
-from . import obs, perf
+from . import metrics, obs, perf
 from .analysis.fault import fault_tolerance_analysis
 from .analysis.simulation import run_simulation
 from .analysis.verify import verify as smt_verify
@@ -75,6 +84,22 @@ def _maybe_enable_stats(args: argparse.Namespace) -> None:
 def _tracing(args: argparse.Namespace) -> bool:
     return bool(getattr(args, "trace", False)
                 or getattr(args, "trace_json", None))
+
+
+def _metrics_on(args: argparse.Namespace) -> bool:
+    """Any live-metrics flag turns the gauge/histogram registry on."""
+    return bool(getattr(args, "progress", False)
+                or getattr(args, "heartbeat", None) is not None
+                or getattr(args, "metrics_json", None)
+                or getattr(args, "prometheus", None)
+                or getattr(args, "mem", False)
+                or getattr(args, "time_budget", None) is not None)
+
+
+def _heartbeat_on(args: argparse.Namespace) -> bool:
+    return bool(getattr(args, "progress", False)
+                or getattr(args, "heartbeat", None) is not None
+                or getattr(args, "time_budget", None) is not None)
 
 
 def cmd_simulate(args: argparse.Namespace) -> int:
@@ -183,6 +208,21 @@ def cmd_translate(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_report(args: argparse.Namespace) -> int:
+    """``repro report trace.jsonl``: render a self-contained HTML run
+    report from a ``--trace-json`` file and an optional ``--metrics-json``
+    snapshot."""
+    from .report import generate
+
+    trace = Path(args.trace_file)
+    if not trace.exists():
+        raise SystemExit(f"no such trace file: {trace}")
+    out = generate(trace, metrics_path=args.metrics,
+                   out_path=args.output, title=args.title)
+    print(f"wrote {out}")
+    return 0
+
+
 def _add_obs_args(p: argparse.ArgumentParser) -> None:
     """The shared observability flags of every analysis subcommand."""
     p.add_argument("--stats", action="store_true",
@@ -195,6 +235,26 @@ def _add_obs_args(p: argparse.ArgumentParser) -> None:
     p.add_argument("--trace-json", metavar="FILE", default=None,
                    help="stream structured span/event records (JSONL) "
                         "to FILE; implies tracing")
+    p.add_argument("--progress", action="store_true",
+                   help="render a live one-line status to stderr while the "
+                        "analysis runs (heartbeat sampler)")
+    p.add_argument("--heartbeat", type=float, metavar="SECONDS", default=None,
+                   help="heartbeat sampling period in seconds "
+                        "(default 1.0 when --progress is set); progress "
+                        "events land in the --trace-json timeline")
+    p.add_argument("--metrics-json", metavar="FILE", default=None,
+                   help="write the final counters/gauges/histograms "
+                        "snapshot as JSON to FILE")
+    p.add_argument("--prometheus", metavar="FILE", default=None,
+                   help="write the final snapshot in Prometheus text "
+                        "exposition format to FILE")
+    p.add_argument("--mem", action="store_true",
+                   help="account memory with tracemalloc: per-span "
+                        "high-water marks plus traced-bytes gauges")
+    p.add_argument("--time-budget", type=float, metavar="SECONDS",
+                   default=None,
+                   help="warn (once) when the run exceeds this wall-time "
+                        "budget")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -260,12 +320,26 @@ def build_parser() -> argparse.ArgumentParser:
                            metavar="A.B.C.D/LEN")
     translate.add_argument("-o", "--output", default=None)
     translate.set_defaults(fn=cmd_translate)
+
+    report = sub.add_parser(
+        "report", help="render a trace JSONL (+ metrics snapshot) as a "
+                       "self-contained HTML run report")
+    report.add_argument("trace_file", metavar="trace",
+                        help="trace JSONL file (--trace-json output)")
+    report.add_argument("--metrics", metavar="FILE", default=None,
+                        help="metrics snapshot JSON (--metrics-json output)")
+    report.add_argument("-o", "--output", default=None,
+                        help="output HTML path (default: trace with .html)")
+    report.add_argument("--title", default=None,
+                        help="report title (default: trace file name)")
+    report.set_defaults(fn=cmd_report)
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     tracing = _tracing(args)
+    metrics_on = _metrics_on(args)
     if tracing:
         # Spans carry perf-counter deltas, so tracing turns the counter
         # registry on as well (a later --stats reset is harmless: nothing
@@ -274,17 +348,72 @@ def main(argv: list[str] | None = None) -> int:
         obs.enable(jsonl=args.trace_json)
         perf.reset()
         perf.enable()
+    if metrics_on:
+        # Live gauges/histograms need the counter registry too (rates are
+        # derived from perf deltas).
+        if not tracing and not getattr(args, "stats", False):
+            perf.reset()
+            perf.enable()
+        metrics.reset()
+        metrics.enable(memory=getattr(args, "mem", False))
+        if getattr(args, "mem", False):
+            obs.track_memory(True)
+
+    heartbeat = None
+    if _heartbeat_on(args):
+        from .heartbeat import Heartbeat
+        period = args.heartbeat if args.heartbeat is not None else 1.0
+        heartbeat = Heartbeat(
+            period, progress=getattr(args, "progress", False),
+            label=args.command, budget=getattr(args, "time_budget", None),
+            metrics_json=getattr(args, "metrics_json", None),
+            install_sigint=True)
+        heartbeat.start()
+
     try:
         with obs.span(args.command, file=getattr(args, "file", None)):
-            return args.fn(args)
+            rc = args.fn(args)
+        if heartbeat is not None:
+            heartbeat.stop()
+            heartbeat = None
+        if metrics_on:
+            _write_metrics_outputs(args)
+        return rc
+    except KeyboardInterrupt:
+        # The heartbeat's SIGINT handler already dumped partial state (or
+        # there was no heartbeat and there is nothing to dump beyond the
+        # trace flush in the finally block below).
+        if heartbeat is not None:
+            heartbeat.dump_partial()
+        print("interrupted", file=sys.stderr)
+        return 130
     except NvError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 3
     finally:
+        if heartbeat is not None:
+            heartbeat.stop()
+        if metrics_on:
+            metrics.disable()
+            obs.track_memory(False)
         if tracing:
             obs.disable()
             if getattr(args, "trace", False):
                 print(obs.render_tree())
+
+
+def _write_metrics_outputs(args: argparse.Namespace) -> None:
+    """Export the final snapshot to the requested files (one snapshot, both
+    formats)."""
+    mjson = getattr(args, "metrics_json", None)
+    prom = getattr(args, "prometheus", None)
+    if not mjson and not prom:
+        return
+    snap = metrics.snapshot()
+    if mjson:
+        metrics.write_json(mjson, snap)
+    if prom:
+        metrics.write_prometheus(prom, snap)
 
 
 if __name__ == "__main__":

@@ -171,6 +171,13 @@ class ValueInterner:
     def __len__(self) -> int:
         return len(self._table)
 
+    def stats(self) -> dict[str, int]:
+        """Instrumentation snapshot (population + probe outcomes), shaped
+        for :mod:`repro.perf`/:mod:`repro.metrics` gauge reporting."""
+        return {"interned": len(self._table),
+                "intern_hits": self.hits,
+                "intern_misses": self.misses}
+
 
 def value_repr(value: Any) -> str:
     """Human-readable rendering of an NV value."""

@@ -41,6 +41,7 @@ from __future__ import annotations
 import itertools
 import json
 import threading
+import tracemalloc
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -53,9 +54,14 @@ _enabled: bool = False
 _origin: float = 0.0
 _sink: TextIO | None = None
 _owns_sink: bool = False
+_track_memory: bool = False
 _lock = threading.Lock()
 _roots: list["Span"] = []
 _tls = threading.local()
+#: Registry of every thread's span stack (the list object is shared with
+#: that thread's ``_tls.stack``), so :func:`reset` can clear in-progress
+#: stacks on *all* threads and :func:`flush_partial` can see open spans.
+_stacks: dict[int, list["Span"]] = {}
 _ids = itertools.count(1)
 
 
@@ -73,6 +79,8 @@ class Span:
     children: list["Span"] = field(default_factory=list)
     counters: dict[str, int | float] = field(default_factory=dict)
     _perf0: dict[str, int | float] | None = field(default=None, repr=False)
+    _mem0: int = field(default=-1, repr=False)     # traced bytes at open
+    _mem_peak: int = field(default=0, repr=False)  # running high-water
 
     @property
     def exclusive(self) -> float:
@@ -109,10 +117,43 @@ def is_enabled() -> bool:
 
 
 def reset() -> None:
-    """Drop all completed spans and any in-progress stacks."""
+    """Drop all completed spans and any in-progress stacks.
+
+    Clears the span stacks of *every* thread that ever opened a span (not
+    just the caller's): stacks are tracked in a registry, so a worker thread
+    paused mid-span cannot leak its stale stack into the next trace session
+    and adopt spans from a run that no longer exists.
+    """
     with _lock:
         _roots.clear()
-    _tls.stack = []
+        # Clear every registered stack *in place*: each list object is
+        # shared with its owning thread's ``_tls.stack``, so the owning
+        # thread sees the cleared stack too.  Registry entries are kept
+        # (a dead thread's empty list is a few bytes; removing a live
+        # thread's entry would orphan its stack).
+        for stack in _stacks.values():
+            stack.clear()
+
+
+def track_memory(on: bool = True) -> None:
+    """Toggle per-span memory accounting.  When on (and ``tracemalloc`` is
+    tracing — this starts it), every span records ``mem_peak_bytes`` (the
+    traced-heap high-water mark while the span was open, computed correctly
+    across nesting) and ``mem_net_bytes`` (allocated minus freed)."""
+    global _track_memory
+    _track_memory = on
+    if on and not tracemalloc.is_tracing():
+        tracemalloc.start()
+
+
+def _thread_stack() -> list["Span"]:
+    """This thread's span stack, creating and registering it on first use."""
+    stack = getattr(_tls, "stack", None)
+    if stack is None:
+        stack = _tls.stack = []
+        with _lock:
+            _stacks[threading.get_ident()] = stack
+    return stack
 
 
 def roots() -> list[Span]:
@@ -127,9 +168,23 @@ def current() -> Span | None:
     return stack[-1] if stack else None
 
 
-def _jsonable(value: Any) -> Any:
+def _jsonable(value: Any, _depth: int = 0) -> Any:
+    """JSON-safe projection of an attribute value.
+
+    Scalars pass through; lists/tuples/dicts whose contents are themselves
+    JSON-safe are serialized *natively* (so trace attrs like histogram
+    bucket lists survive a JSONL round-trip instead of degrading to their
+    ``repr``).  Anything else — custom objects, sets, deeply-nested
+    containers — falls back to ``repr``.
+    """
     if isinstance(value, (str, int, float, bool)) or value is None:
         return value
+    if _depth < 6:
+        if isinstance(value, (list, tuple)):
+            return [_jsonable(v, _depth + 1) for v in value]
+        if isinstance(value, dict):
+            return {(k if isinstance(k, str) else repr(k)):
+                    _jsonable(v, _depth + 1) for k, v in value.items()}
     return repr(value)
 
 
@@ -139,6 +194,36 @@ def _write(record: dict[str, Any]) -> None:
     line = json.dumps(record, default=repr)
     with _lock:
         _sink.write(line + "\n")
+
+
+def flush() -> None:
+    """Flush the JSONL sink (if any)."""
+    if _sink is not None:
+        with _lock:
+            try:
+                _sink.flush()
+            except (ValueError, OSError):  # pragma: no cover - closed sink
+                pass
+
+
+def flush_partial() -> None:
+    """Write every currently-open span (all threads) to the sink as a
+    ``"partial": true`` record and flush.  Called on SIGINT so an
+    interrupted multi-minute solve still leaves an analysable trace —
+    consumers see how far each phase got before the kill."""
+    if not _enabled:
+        return
+    now = perf_counter() - _origin
+    with _lock:
+        open_spans = [sp for stack in _stacks.values() for sp in stack]
+    for sp in open_spans:
+        _write({"type": "span", "id": sp.id, "parent": sp.parent_id,
+                "name": sp.name, "t0": round(sp.t0, 6),
+                "dur": round(now - sp.t0, 6), "events": sp.n_events,
+                "partial": True,
+                "attrs": {k: _jsonable(v) for k, v in sp.attrs.items()},
+                "counters": sp.counters})
+    flush()
 
 
 def event(name: str, **attrs: Any) -> None:
@@ -163,13 +248,20 @@ def span(name: str, **attrs: Any) -> Iterator[Span | None]:
         yield None
         return
     sp = Span(name=name, attrs=dict(attrs), id=next(_ids))
-    stack = getattr(_tls, "stack", None)
-    if stack is None:
-        stack = _tls.stack = []
+    stack = _thread_stack()
     parent = stack[-1] if stack else None
     sp.parent_id = parent.id if parent is not None else 0
     if perf.is_enabled():
         sp._perf0 = perf.snapshot()
+    track_mem = _track_memory and tracemalloc.is_tracing()
+    if track_mem:
+        cur, peak = tracemalloc.get_traced_memory()
+        if parent is not None and peak > parent._mem_peak:
+            # Bank the parent's high-water so far; the child resets the
+            # global peak to measure its own.
+            parent._mem_peak = peak
+        tracemalloc.reset_peak()
+        sp._mem0 = cur
     sp.t0 = perf_counter() - _origin
     stack.append(sp)
     try:
@@ -179,6 +271,14 @@ def span(name: str, **attrs: Any) -> Iterator[Span | None]:
         raise
     finally:
         sp.dur = (perf_counter() - _origin) - sp.t0
+        if sp._mem0 >= 0 and tracemalloc.is_tracing():
+            cur, peak = tracemalloc.get_traced_memory()
+            span_peak = max(sp._mem_peak, peak)
+            sp.attrs["mem_peak_bytes"] = span_peak
+            sp.attrs["mem_net_bytes"] = cur - sp._mem0
+            tracemalloc.reset_peak()
+            if parent is not None and span_peak > parent._mem_peak:
+                parent._mem_peak = span_peak
         if sp._perf0 is not None:
             now = perf.snapshot()
             base = sp._perf0
@@ -188,20 +288,23 @@ def span(name: str, **attrs: Any) -> Iterator[Span | None]:
                 for k, v in now.items() if v != base.get(k, 0)
             }
             sp._perf0 = None
-        # The stack top is always `sp`: inner spans are closed by their own
-        # context managers before this finally runs, even on exceptions.
+        # The stack top is always `sp` — inner spans are closed by their own
+        # context managers before this finally runs, even on exceptions —
+        # *unless* :func:`reset` cleared the stack mid-flight, in which case
+        # the span belongs to a session that no longer exists: cancel it
+        # (record nothing) rather than leak it into the next trace.
         if stack and stack[-1] is sp:
             stack.pop()
-        if parent is not None:
-            parent.children.append(sp)
-        else:
-            with _lock:
-                _roots.append(sp)
-        _write({"type": "span", "id": sp.id, "parent": sp.parent_id,
-                "name": sp.name, "t0": round(sp.t0, 6),
-                "dur": round(sp.dur, 6), "events": sp.n_events,
-                "attrs": {k: _jsonable(v) for k, v in sp.attrs.items()},
-                "counters": sp.counters})
+            if parent is not None:
+                parent.children.append(sp)
+            else:
+                with _lock:
+                    _roots.append(sp)
+            _write({"type": "span", "id": sp.id, "parent": sp.parent_id,
+                    "name": sp.name, "t0": round(sp.t0, 6),
+                    "dur": round(sp.dur, 6), "events": sp.n_events,
+                    "attrs": {k: _jsonable(v) for k, v in sp.attrs.items()},
+                    "counters": sp.counters})
 
 
 @contextmanager
@@ -239,10 +342,15 @@ def _fmt_attrs(sp: Span, max_counters: int = 4) -> str:
     return ("  {" + ", ".join(parts) + "}") if parts else ""
 
 
-def render_tree(spans: list[Span] | None = None) -> str:
+def render_tree(spans: list[Span] | None = None,
+                max_children: int = 50) -> str:
     """A human-readable span tree with inclusive and exclusive wall times.
 
     ``spans`` defaults to the completed root spans of the live tracer.
+    Very wide spans (a fig-14-scale run can put thousands of per-pass spans
+    under one parent) are elided after ``max_children`` entries with a
+    "… N more children" line so ``--trace`` output stays readable; pass
+    ``max_children=0`` to disable the cap.
     """
     if spans is None:
         spans = roots()
@@ -255,11 +363,21 @@ def render_tree(spans: list[Span] | None = None) -> str:
         if sp.children:
             timing += f" (self {_fmt_time(sp.exclusive)})"
         lines.append(f"{prefix}{sp.name:<32s} {timing:>18s}{_fmt_attrs(sp)}")
-        for i, child in enumerate(sp.children):
-            last = i == len(sp.children) - 1
+        children = sp.children
+        elided = 0
+        if max_children and len(children) > max_children:
+            elided = len(children) - max_children
+            children = children[:max_children]
+        for i, child in enumerate(children):
+            last = i == len(children) - 1 and not elided
             walk(child,
                  child_prefix + ("└─ " if last else "├─ "),
                  child_prefix + ("   " if last else "│  "))
+        if elided:
+            hidden = sp.children[max_children:]
+            total = sum(c.dur for c in hidden)
+            lines.append(f"{child_prefix}└─ … {elided} more children "
+                         f"({_fmt_time(total)} total)")
 
     for root in spans:
         walk(root, "", "")

@@ -25,6 +25,7 @@ Counter naming convention: ``<layer>.<metric>``, e.g. ``sim.activations``,
 
 from __future__ import annotations
 
+import threading
 from contextlib import contextmanager
 from time import perf_counter
 from typing import Any, Iterator, Mapping
@@ -32,6 +33,13 @@ from typing import Any, Iterator, Mapping
 _enabled: bool = False
 _counters: dict[str, int] = {}
 _timers: dict[str, float] = {}
+#: Guards every registry mutation and :func:`snapshot`.  Components flush
+#: rarely (once per run), but the heartbeat sampler thread snapshots
+#: concurrently — without the lock a ``dict(_counters)`` copy racing a
+#: ``merge`` can raise ``RuntimeError: dictionary changed size during
+#: iteration``.  The hot paths never touch this lock (they accumulate
+#: plain local integers), so the design rule above still holds.
+_lock = threading.RLock()
 
 
 def enable() -> None:
@@ -65,14 +73,16 @@ def enabled(on: bool = True) -> Iterator[None]:
 
 def reset() -> None:
     """Clear all accumulated counters and timers (enabled state unchanged)."""
-    _counters.clear()
-    _timers.clear()
+    with _lock:
+        _counters.clear()
+        _timers.clear()
 
 
 def incr(name: str, n: int = 1) -> None:
     """Add ``n`` to a counter.  No-op when disabled."""
     if _enabled:
-        _counters[name] = _counters.get(name, 0) + n
+        with _lock:
+            _counters[name] = _counters.get(name, 0) + n
 
 
 def merge(stats: Mapping[str, int | float], prefix: str = "") -> None:
@@ -80,17 +90,19 @@ def merge(stats: Mapping[str, int | float], prefix: str = "") -> None:
 
     This is the hot-path-friendly entry point: the component does plain
     integer arithmetic while running and calls ``merge`` once at the end.
-    No-op when disabled.
+    No-op when disabled.  Thread-safe: concurrent merges (and snapshots
+    from the heartbeat sampler) serialize on the registry lock.
     """
     if not _enabled:
         return
-    get = _counters.get
-    for key, value in stats.items():
-        name = prefix + key
-        if isinstance(value, float):
-            _timers[name] = _timers.get(name, 0.0) + value
-        else:
-            _counters[name] = get(name, 0) + value
+    with _lock:
+        get = _counters.get
+        for key, value in stats.items():
+            name = prefix + key
+            if isinstance(value, float):
+                _timers[name] = _timers.get(name, 0.0) + value
+            else:
+                _counters[name] = get(name, 0) + value
 
 
 @contextmanager
@@ -103,13 +115,15 @@ def timer(name: str) -> Iterator[None]:
     try:
         yield
     finally:
-        _timers[name] = _timers.get(name, 0.0) + (perf_counter() - t0)
+        with _lock:
+            _timers[name] = _timers.get(name, 0.0) + (perf_counter() - t0)
 
 
 def snapshot() -> dict[str, int | float]:
     """An isolated copy of every counter and timer currently accumulated."""
-    out: dict[str, int | float] = dict(_counters)
-    out.update(_timers)
+    with _lock:
+        out: dict[str, int | float] = dict(_counters)
+        out.update(_timers)
     return out
 
 

@@ -1,0 +1,364 @@
+"""Self-contained HTML run reports from trace JSONL + metrics snapshots.
+
+``repro report run.jsonl --metrics run-metrics.json -o report.html`` turns
+the artifacts the observability stack streams during a run — span/event
+records from :mod:`repro.obs`, a counters/gauges/histograms snapshot from
+:mod:`repro.metrics` — into a single HTML file with no external assets
+(inline CSS, no JS dependencies), so CI can upload it as an artifact and
+anyone can open it from disk:
+
+* **Flame view** — each root span becomes a stacked bar chart; a span's
+  horizontal extent is its share of the root's wall time, its row is its
+  nesting depth.  Partial (interrupted) spans are hatched.
+* **Event timeline** — per-event-name lanes with one marker per event,
+  plus a count/first/last summary table (``progress`` heartbeats land here
+  between ``sat.restart`` and ``sim.activation`` markers).
+* **Histograms** — log-bucketed distributions (e.g. the SAT solver's final
+  LBD distribution) as horizontal bar charts.
+* **Counters and gauges** — the flat :mod:`repro.perf` registry grouped by
+  layer, and the last sampled gauge values.
+
+The parser is forgiving: unknown record types are ignored and partial
+traces (SIGINT dumps) render with their open spans marked, so a killed run
+still produces a useful report.
+"""
+
+from __future__ import annotations
+
+import html
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Iterable, Mapping
+
+# ----------------------------------------------------------------------
+# Trace loading
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class SpanRec:
+    id: int
+    parent: int
+    name: str
+    t0: float
+    dur: float
+    attrs: dict[str, Any] = field(default_factory=dict)
+    counters: dict[str, Any] = field(default_factory=dict)
+    events: int = 0
+    partial: bool = False
+    children: list["SpanRec"] = field(default_factory=list)
+
+
+def load_trace(path: str | Path) -> tuple[list[SpanRec], list[dict[str, Any]]]:
+    """Parse a trace JSONL file into ``(root_spans, events)``.
+
+    Tolerates truncated last lines (SIGINT kills mid-write) and duplicate
+    span ids (a partial record followed by nothing else wins; a partial
+    record superseded by the span's real close record is replaced).
+    """
+    spans: dict[int, SpanRec] = {}
+    events: list[dict[str, Any]] = []
+    with open(path, "r", encoding="utf-8") as f:
+        for line in f:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                rec = json.loads(line)
+            except json.JSONDecodeError:
+                continue  # truncated tail of an interrupted run
+            kind = rec.get("type")
+            if kind == "span":
+                sid = int(rec.get("id", 0))
+                existing = spans.get(sid)
+                if existing is not None and not existing.partial:
+                    continue  # keep the complete record
+                spans[sid] = SpanRec(
+                    id=sid, parent=int(rec.get("parent", 0)),
+                    name=str(rec.get("name", "?")),
+                    t0=float(rec.get("t0", 0.0)),
+                    dur=float(rec.get("dur", 0.0)),
+                    attrs=rec.get("attrs") or {},
+                    counters=rec.get("counters") or {},
+                    events=int(rec.get("events", 0)),
+                    partial=bool(rec.get("partial", False)))
+            elif kind == "event":
+                events.append(rec)
+    roots: list[SpanRec] = []
+    for sp in spans.values():
+        parent = spans.get(sp.parent)
+        if parent is not None and sp.parent != sp.id:
+            parent.children.append(sp)
+        else:
+            roots.append(sp)
+    for sp in spans.values():
+        sp.children.sort(key=lambda s: s.t0)
+    roots.sort(key=lambda s: s.t0)
+    return roots, sorted(events, key=lambda e: e.get("t", 0.0))
+
+
+def load_metrics(path: str | Path) -> dict[str, Any]:
+    with open(path, "r", encoding="utf-8") as f:
+        return json.load(f)
+
+
+# ----------------------------------------------------------------------
+# Rendering helpers
+# ----------------------------------------------------------------------
+
+_PALETTE = ["#4e79a7", "#f28e2b", "#59a14f", "#e15759", "#76b7b2",
+            "#edc948", "#b07aa1", "#ff9da7", "#9c755f", "#bab0ac"]
+
+
+def _color(name: str) -> str:
+    return _PALETTE[hash(name) % len(_PALETTE)]
+
+
+def _esc(value: Any) -> str:
+    return html.escape(str(value), quote=True)
+
+
+def _fmt_t(seconds: float) -> str:
+    if seconds >= 1.0:
+        return f"{seconds:.3f}s"
+    return f"{seconds * 1e3:.1f}ms"
+
+
+def _fmt_n(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:,.6g}"
+    if isinstance(value, int):
+        return f"{value:,d}"
+    return str(value)
+
+
+def _span_depth(sp: SpanRec) -> int:
+    return 1 + max((_span_depth(c) for c in sp.children), default=0)
+
+
+def _count_spans(roots: Iterable[SpanRec]) -> int:
+    return sum(1 + _count_spans(sp.children) for sp in roots)
+
+
+# ----------------------------------------------------------------------
+# Section renderers
+# ----------------------------------------------------------------------
+
+_ROW_H = 22
+
+
+def _render_flame(root: SpanRec) -> str:
+    """One root span as a CSS flame chart (absolute-positioned rows)."""
+    depth = _span_depth(root)
+    total = max(root.dur, 1e-9)
+    cells: list[str] = []
+
+    def walk(sp: SpanRec, level: int) -> None:
+        left = max(0.0, (sp.t0 - root.t0) / total * 100.0)
+        width = max(0.15, sp.dur / total * 100.0)
+        width = min(width, 100.0 - left)
+        tip_parts = [f"{sp.name} — {_fmt_t(sp.dur)}"]
+        if sp.partial:
+            tip_parts.append("(partial: interrupted)")
+        for k, v in list(sp.attrs.items())[:8]:
+            tip_parts.append(f"{k}={v}")
+        for k, v in sorted(sp.counters.items(),
+                           key=lambda kv: -abs(kv[1])
+                           if isinstance(kv[1], (int, float)) else 0)[:6]:
+            tip_parts.append(f"Δ{k}={v}")
+        cls = "cell partial" if sp.partial else "cell"
+        cells.append(
+            f'<div class="{cls}" style="left:{left:.3f}%;'
+            f'width:{width:.3f}%;top:{level * _ROW_H}px;'
+            f'background:{_color(sp.name)}" title="{_esc(" | ".join(map(str, tip_parts)))}">'
+            f'{_esc(sp.name)} {_fmt_t(sp.dur)}</div>')
+        for child in sp.children:
+            walk(child, level + 1)
+
+    walk(root, 0)
+    height = depth * _ROW_H + 4
+    label = (f"{_esc(root.name)} — {_fmt_t(root.dur)}, "
+             f"{_count_spans([root]) - 1} child spans"
+             + (" <em>(partial)</em>" if root.partial else ""))
+    return (f'<h3>{label}</h3>'
+            f'<div class="flame" style="height:{height}px">'
+            + "".join(cells) + "</div>")
+
+
+def _render_timeline(events: list[dict[str, Any]],
+                     t_min: float, t_max: float) -> str:
+    if not events:
+        return "<p>No timeline events recorded.</p>"
+    span_t = max(t_max - t_min, 1e-9)
+    by_name: dict[str, list[dict[str, Any]]] = {}
+    for ev in events:
+        by_name.setdefault(ev.get("name", "?"), []).append(ev)
+    lanes: list[str] = []
+    rows: list[str] = []
+    for i, (name, evs) in enumerate(sorted(by_name.items())):
+        marks = []
+        shown = evs if len(evs) <= 2000 else evs[:: len(evs) // 2000 + 1]
+        for ev in shown:
+            left = (ev.get("t", 0.0) - t_min) / span_t * 100.0
+            marks.append(f'<i style="left:{left:.3f}%;'
+                         f'background:{_color(name)}"></i>')
+        lanes.append(f'<div class="lane"><span class="lane-label">'
+                     f'{_esc(name)}</span>{"".join(marks)}</div>')
+        first, last = evs[0].get("t", 0.0), evs[-1].get("t", 0.0)
+        rows.append(f"<tr><td>{_esc(name)}</td><td>{len(evs):,d}</td>"
+                    f"<td>{_fmt_t(first)}</td><td>{_fmt_t(last)}</td></tr>")
+    table = ("<table><tr><th>event</th><th>count</th><th>first</th>"
+             "<th>last</th></tr>" + "".join(rows) + "</table>")
+    return ('<div class="timeline">' + "".join(lanes) + "</div>" + table)
+
+
+def _render_histograms(hists: Mapping[str, Any]) -> str:
+    if not hists:
+        return "<p>No histograms in the metrics snapshot.</p>"
+    out: list[str] = []
+    for name, data in sorted(hists.items()):
+        buckets = data.get("buckets", [])
+        count = data.get("count", 0)
+        out.append(f"<h3>{_esc(name)} — {count:,d} observations, "
+                   f"sum {_fmt_n(data.get('sum', 0))}</h3>")
+        prev = 0
+        bars = []
+        peak = max((cum - p for (_, cum), p in
+                    zip(buckets, [0] + [c for _, c in buckets])), default=1)
+        prev = 0
+        for le, cum in buckets:
+            n = cum - prev
+            prev = cum
+            width = 0 if peak == 0 else n / peak * 100.0
+            bars.append(
+                f'<div class="hrow"><span class="hlabel">&le; {_fmt_n(le)}'
+                f'</span><div class="hbar" style="width:{width:.2f}%"></div>'
+                f'<span class="hcount">{n:,d}</span></div>')
+        out.append('<div class="hist">' + "".join(bars) + "</div>")
+    return "".join(out)
+
+
+def _render_counters(counters: Mapping[str, Any]) -> str:
+    if not counters:
+        return "<p>No counters in the metrics snapshot.</p>"
+    groups: dict[str, list[str]] = {}
+    for name in sorted(counters):
+        layer = name.split(".", 1)[0] if "." in name else "(other)"
+        groups.setdefault(layer, []).append(name)
+    out: list[str] = []
+    for layer in sorted(groups):
+        rows = "".join(
+            f"<tr><td>{_esc(n)}</td><td class='num'>{_fmt_n(counters[n])}"
+            f"</td></tr>" for n in groups[layer])
+        out.append(f"<h3>{_esc(layer)}</h3><table>{rows}</table>")
+    return "".join(out)
+
+
+def _render_gauges(gauges: Mapping[str, Any]) -> str:
+    if not gauges:
+        return "<p>No gauges in the metrics snapshot.</p>"
+    rows = "".join(
+        f"<tr><td>{_esc(n)}</td><td class='num'>{_fmt_n(v)}</td></tr>"
+        for n, v in sorted(gauges.items()))
+    return f"<table>{rows}</table>"
+
+
+_CSS = """
+body { font: 13px/1.5 -apple-system, "Segoe UI", Roboto, sans-serif;
+       margin: 24px auto; max-width: 1100px; color: #1b1f24; }
+h1 { font-size: 20px; } h2 { font-size: 16px; margin-top: 28px;
+     border-bottom: 1px solid #d0d7de; padding-bottom: 4px; }
+h3 { font-size: 13px; margin: 14px 0 6px; }
+table { border-collapse: collapse; margin: 6px 0; }
+td, th { border: 1px solid #d0d7de; padding: 2px 8px; text-align: left; }
+td.num { text-align: right; font-variant-numeric: tabular-nums; }
+.meta { color: #57606a; }
+.flame { position: relative; background: #f6f8fa; border-radius: 4px;
+         overflow: hidden; margin-bottom: 12px; }
+.flame .cell { position: absolute; height: 20px; border-radius: 2px;
+               color: #fff; font-size: 10px; line-height: 20px;
+               padding: 0 4px; overflow: hidden; white-space: nowrap;
+               box-sizing: border-box; border: 1px solid rgba(0,0,0,.25); }
+.flame .cell.partial { background-image: repeating-linear-gradient(
+    45deg, rgba(255,255,255,.35) 0 6px, transparent 6px 12px); }
+.timeline { background: #f6f8fa; border-radius: 4px; padding: 4px 0;
+            margin-bottom: 10px; }
+.lane { position: relative; height: 18px; margin: 2px 0; }
+.lane i { position: absolute; top: 3px; width: 2px; height: 12px;
+          display: block; }
+.lane-label { position: absolute; left: 4px; z-index: 2; font-size: 10px;
+              color: #57606a; }
+.hist { margin-bottom: 14px; }
+.hrow { display: flex; align-items: center; gap: 8px; height: 16px; }
+.hlabel { width: 90px; text-align: right; color: #57606a;
+          font-variant-numeric: tabular-nums; }
+.hbar { background: #4e79a7; height: 10px; border-radius: 2px;
+        min-width: 1px; }
+.hcount { color: #57606a; font-variant-numeric: tabular-nums; }
+"""
+
+
+def render_html(roots: list[SpanRec], events: list[dict[str, Any]],
+                metrics_snap: Mapping[str, Any] | None = None,
+                title: str = "NV run report") -> str:
+    """Assemble the full self-contained HTML document."""
+    t_min = min([sp.t0 for sp in roots] +
+                [e.get("t", 0.0) for e in events], default=0.0)
+    t_max = max([sp.t0 + sp.dur for sp in roots] +
+                [e.get("t", 0.0) for e in events], default=0.0)
+    n_spans = _count_spans(roots)
+    n_partial = sum(1 for sp in _iter_spans(roots) if sp.partial)
+    snap = metrics_snap or {}
+    meta_bits = [f"{n_spans:,d} spans", f"{len(events):,d} events",
+                 f"wall {_fmt_t(max(0.0, t_max - t_min))}"]
+    if n_partial:
+        meta_bits.append(f"{n_partial} partial spans (interrupted run)")
+    if snap.get("partial"):
+        meta_bits.append("partial metrics snapshot")
+    if snap.get("phase"):
+        meta_bits.append(f"last phase: {snap['phase']}")
+    parts = [
+        "<!DOCTYPE html><html><head><meta charset='utf-8'>",
+        f"<title>{_esc(title)}</title><style>{_CSS}</style></head><body>",
+        f"<h1>{_esc(title)}</h1>",
+        f"<p class='meta'>{_esc(' · '.join(meta_bits))}</p>",
+        "<h2>Span flame view</h2>",
+    ]
+    if roots:
+        parts.extend(_render_flame(sp) for sp in roots)
+    else:
+        parts.append("<p>No spans in the trace.</p>")
+    parts.append("<h2>Event timeline</h2>")
+    parts.append(_render_timeline(events, t_min, t_max))
+    parts.append("<h2>Histograms</h2>")
+    parts.append(_render_histograms(snap.get("histograms", {})))
+    parts.append("<h2>Counters</h2>")
+    parts.append(_render_counters(snap.get("counters", {})))
+    parts.append("<h2>Gauges</h2>")
+    parts.append(_render_gauges(snap.get("gauges", {})))
+    parts.append("</body></html>")
+    return "".join(parts)
+
+
+def _iter_spans(roots: Iterable[SpanRec]):
+    for sp in roots:
+        yield sp
+        yield from _iter_spans(sp.children)
+
+
+def generate(trace_path: str | Path,
+             metrics_path: str | Path | None = None,
+             out_path: str | Path | None = None,
+             title: str | None = None) -> Path:
+    """Build the HTML report for a trace JSONL (+ optional metrics JSON)
+    and write it next to the trace (or to ``out_path``).  Returns the
+    output path."""
+    trace_path = Path(trace_path)
+    roots, events = load_trace(trace_path)
+    snap = load_metrics(metrics_path) if metrics_path else None
+    doc = render_html(roots, events, snap,
+                      title=title or f"NV run report — {trace_path.name}")
+    out = Path(out_path) if out_path else trace_path.with_suffix(".html")
+    out.write_text(doc, encoding="utf-8")
+    return out

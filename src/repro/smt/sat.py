@@ -14,7 +14,7 @@ from __future__ import annotations
 
 from typing import Iterable, Sequence
 
-from .. import obs
+from .. import metrics, obs
 
 #: Emit a ``sat.progress`` timeline event every this many conflicts while
 #: tracing (see :mod:`repro.obs`); restarts are always emitted.
@@ -128,6 +128,7 @@ class SatSolver:
         self.learnts: list[list[int]] = []
         self.lbd: dict[int, int] = {}
         self.max_learnts = 4000
+        self.num_attached = 0    # clause-DB size: problem + learnt clauses
         self._trace = False      # hoisted obs.is_enabled(); set by solve()
         for clause in clauses:
             self.add_clause(clause)
@@ -165,6 +166,7 @@ class SatSolver:
         self._attach(clause)
 
     def _attach(self, clause: list[int]) -> None:
+        self.num_attached += 1
         a, b = clause[0], clause[1]
         self.watches[((a if a > 0 else -a) << 1) | (a < 0)].append(clause)
         self.watches[((b if b > 0 else -b) << 1) | (b < 0)].append(clause)
@@ -181,6 +183,7 @@ class SatSolver:
         for clause in candidates[:len(candidates) // 2]:
             lbd.pop(id(clause), None)
             clause.clear()
+            self.num_attached -= 1
         self.learnts = [c for c in self.learnts if c]
 
     # ------------------------------------------------------------------
@@ -386,6 +389,26 @@ class SatSolver:
     # Main loop
     # ------------------------------------------------------------------
 
+    def live_gauges(self) -> dict[str, object]:
+        """Structural gauges sampled by the heartbeat while :meth:`solve`
+        runs: CDCL progress counters (live — :mod:`repro.perf` only sees
+        them flushed *after* the solve), clause-DB shape, and the current
+        learnt-clause LBD ("glue") distribution as a histogram.  Every read
+        is a plain attribute or ``len`` under the GIL, so sampling from the
+        heartbeat thread is safe and cheap (the LBD histogram costs
+        O(learnts) per sample — trivial at 1 Hz)."""
+        return {
+            "sat.conflicts": self.conflicts,
+            "sat.decisions": self.decisions,
+            "sat.propagations": self.propagations,
+            "sat.restarts": self.restarts,
+            "sat.learnts": len(self.learnts),
+            "sat.clause_db": self.num_attached,
+            "sat.trail": len(self.trail),
+            "sat.vars_unassigned": len(self.order),
+            "sat.lbd": metrics.Histogram.from_values(self.lbd.values()),
+        }
+
     def solve(self, max_conflicts: int | None = None) -> bool | None:
         """Returns True (sat), False (unsat), or None on conflict budget."""
         if not self.ok:
@@ -394,6 +417,20 @@ class SatSolver:
             self.ok = False
             return False
         self._trace = obs.is_enabled()
+        # While solving, expose live structural gauges to the metrics
+        # sampler (no-op returning a no-op when metrics are disabled).
+        unregister = metrics.register_provider("sat", self.live_gauges)
+        try:
+            return self._solve_loop(max_conflicts)
+        finally:
+            unregister()
+            if metrics.is_enabled() and self.lbd:
+                # Final LBD distribution for the post-run snapshot/report.
+                metrics.record_histogram(
+                    "sat.lbd_final",
+                    metrics.Histogram.from_values(self.lbd.values()))
+
+    def _solve_loop(self, max_conflicts: int | None) -> bool | None:
         restart_idx = 0
         while True:
             budget = 100 * _luby(restart_idx)

@@ -11,7 +11,7 @@ import sys
 from dataclasses import dataclass, field
 from time import perf_counter
 
-from .. import obs, perf
+from .. import metrics, obs, perf
 from .bitblast import BitBlaster
 from .cnf import Tseitin
 from .sat import SatSolver
@@ -63,7 +63,8 @@ class Solver:
 
     def _check(self, max_conflicts: int | None) -> SmtResult:
         t0 = perf_counter()
-        with obs.span("smt.bitblast", assertions=len(self.assertions)) as sp:
+        with metrics.phase("smt.bitblast"), \
+             obs.span("smt.bitblast", assertions=len(self.assertions)) as sp:
             blaster = BitBlaster(self.tm)
             tseitin = Tseitin(self.tm)
             for term in self.assertions:
@@ -74,7 +75,8 @@ class Solver:
         encode_seconds = perf_counter() - t0
 
         t0 = perf_counter()
-        with obs.span("smt.solve", vars=cnf.num_vars,
+        with metrics.phase("smt.solve"), \
+             obs.span("smt.solve", vars=cnf.num_vars,
                       clauses=len(cnf.clauses)) as sp:
             solver = SatSolver(cnf.num_vars, cnf.clauses)
             # Structural decision hint: branch on option tags (route present

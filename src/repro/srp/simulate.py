@@ -37,7 +37,7 @@ from __future__ import annotations
 from collections import deque
 from typing import Any
 
-from .. import obs, perf
+from .. import metrics, obs, perf
 from ..eval.values import ValueInterner, value_repr
 from ..lang.errors import NvRuntimeError
 from .network import NetworkFunctions
@@ -144,6 +144,23 @@ def simulate(funcs: NetworkFunctions, max_iterations: int | None = None,
     tracing = obs.is_enabled()
     obs_event = obs.event
 
+    # Live structural gauges for the heartbeat sampler: worklist depth,
+    # activation/message progress (perf only sees these flushed at the
+    # end), and the interner population.  The closure reads loop locals at
+    # sample time — single ``len``s and int reads under the GIL, safe from
+    # the sampler thread.  No-op (returns a no-op) when metrics are off.
+    def _live_gauges() -> dict[str, int]:
+        gauges = {
+            "sim.worklist_depth": len(queue),
+            "sim.activations": iterations,
+            "sim.messages": messages,
+        }
+        if memoize:
+            gauges["sim.interned_routes"] = len(interner)
+        return gauges
+
+    unregister_gauges = metrics.register_provider("sim", _live_gauges)
+
     def update(v: int, route: Any) -> None:
         old = labels[v]
         if route is old:
@@ -157,55 +174,59 @@ def simulate(funcs: NetworkFunctions, max_iterations: int | None = None,
                 in_queue[v] = True
                 queue.append(v)
 
-    while queue:
-        iterations += 1
-        if iterations > limit:
-            raise NvRuntimeError(
-                f"simulation did not converge within {limit} node activations; "
-                "the routing algebra may be divergent")
-        u = queue.popleft()
-        in_queue[u] = False
-        attr_u = labels[u]
-        skipped = attr_u is last_pushed[u]
-        if tracing:
-            # Convergence timeline: one activation event per worklist pop.
-            obs_event("sim.activation", node=u, iteration=iterations,
-                      worklist=len(queue), skipped=skipped)
-        if skipped:
-            # Identical re-push: every neighbour already received exactly
-            # these routes (interned identity), so all sends are no-ops.
-            stats["skipped_activations"] += 1
-            continue
-        last_pushed[u] = attr_u
-        for edge in out_edges[u]:
-            v = edge[1]
-            new = trans_m(edge, attr_u)
-            messages += 1
-            received_v = received[v]
-            if u in received_v:
-                old = received_v[u]
-                received_v[u] = new
-                if old is new or old == new:
-                    continue
-                if incremental:
-                    merged = merge_m(v, old, new)
-                    superseded = merged is new or merged == new
+    try:
+        while queue:
+            iterations += 1
+            if iterations > limit:
+                raise NvRuntimeError(
+                    f"simulation did not converge within {limit} node "
+                    "activations; the routing algebra may be divergent")
+            u = queue.popleft()
+            in_queue[u] = False
+            attr_u = labels[u]
+            skipped = attr_u is last_pushed[u]
+            if tracing:
+                # Convergence timeline: one activation event per pop.
+                obs_event("sim.activation", node=u, iteration=iterations,
+                          worklist=len(queue), skipped=skipped)
+            if skipped:
+                # Identical re-push: every neighbour already received exactly
+                # these routes (interned identity), so all sends are no-ops.
+                stats["skipped_activations"] += 1
+                continue
+            last_pushed[u] = attr_u
+            for edge in out_edges[u]:
+                v = edge[1]
+                new = trans_m(edge, attr_u)
+                messages += 1
+                received_v = received[v]
+                if u in received_v:
+                    old = received_v[u]
+                    received_v[u] = new
+                    if old is new or old == new:
+                        continue
+                    if incremental:
+                        merged = merge_m(v, old, new)
+                        superseded = merged is new or merged == new
+                    else:
+                        superseded = False
+                    if superseded:
+                        # The new route supersedes the stale one (alg 1
+                        # l.15-17).
+                        update(v, merge_m(v, labels[v], new))
+                    else:
+                        # Full re-merge of everything v knows (alg 1 l.18);
+                        # the stable fold order makes unchanged prefixes hit
+                        # the per-node merge memo.
+                        route = initial[v]
+                        for route_w in received_v.values():
+                            route = merge_m(v, route, route_w)
+                        update(v, route)
                 else:
-                    superseded = False
-                if superseded:
-                    # The new route supersedes the stale one (alg 1 l.15-17).
+                    received_v[u] = new
                     update(v, merge_m(v, labels[v], new))
-                else:
-                    # Full re-merge of everything v knows (alg 1 l.18);
-                    # the stable fold order makes unchanged prefixes hit
-                    # the per-node merge memo.
-                    route = initial[v]
-                    for route_w in received_v.values():
-                        route = merge_m(v, route, route_w)
-                    update(v, route)
-            else:
-                received_v[u] = new
-                update(v, merge_m(v, labels[v], new))
+    finally:
+        unregister_gauges()
 
     stats["activations"] = iterations
     stats["messages"] = messages

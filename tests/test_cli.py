@@ -193,3 +193,75 @@ class TestErrors:
         f.write_text("let nodes = ")
         assert main(["simulate", str(f)]) == 3
         assert "error:" in capsys.readouterr().err
+
+
+class TestMetricsFlags:
+    """The live-metrics CLI surface: --progress/--heartbeat/--metrics-json/
+    --prometheus/--mem/--time-budget, plus the report subcommand."""
+
+    def test_metrics_json_export(self, triangle_file, tmp_path):
+        mjson = tmp_path / "m.json"
+        assert main(["simulate", triangle_file,
+                     "--metrics-json", str(mjson)]) == 0
+        data = json.loads(mjson.read_text())
+        assert data["counters"]["sim.activations"] > 0
+        assert "gauges" in data and "histograms" in data
+        assert "partial" not in data
+
+    def test_prometheus_export(self, triangle_file, tmp_path):
+        prom = tmp_path / "m.prom"
+        assert main(["verify", triangle_file,
+                     "--prometheus", str(prom)]) == 0
+        text = prom.read_text()
+        assert "# TYPE nv_sat_conflicts counter" in text
+        assert "nv_sat_lbd_final_bucket" in text or "nv_sat_conflicts" in text
+
+    def test_progress_heartbeat_emits_events(self, triangle_file, tmp_path,
+                                             capsys):
+        trace = tmp_path / "t.jsonl"
+        assert main(["verify", triangle_file, "--progress",
+                     "--heartbeat", "0.01", "--trace-json", str(trace)]) == 0
+        records = [json.loads(line) for line in
+                   trace.read_text().strip().splitlines()]
+        prog = [r for r in records
+                if r["type"] == "event" and r["name"] == "progress"]
+        assert prog, "no heartbeat progress events in the trace"
+        assert any("elapsed" in p["attrs"] for p in prog)
+        # The status line goes to stderr.
+        assert "[" in capsys.readouterr().err
+
+    def test_time_budget_warns(self, triangle_file, capsys):
+        assert main(["simulate", triangle_file, "--heartbeat", "0.01",
+                     "--time-budget", "0"]) == 0
+        assert "wall-time budget" in capsys.readouterr().err
+
+    def test_mem_adds_span_memory_attrs(self, triangle_file, tmp_path):
+        trace = tmp_path / "t.jsonl"
+        assert main(["simulate", triangle_file, "--mem",
+                     "--trace-json", str(trace)]) == 0
+        records = [json.loads(line) for line in
+                   trace.read_text().strip().splitlines()]
+        spans = [r for r in records if r["type"] == "span"]
+        assert any("mem_peak_bytes" in s["attrs"] for s in spans)
+
+    def test_report_round_trip(self, triangle_file, tmp_path, capsys):
+        trace = tmp_path / "t.jsonl"
+        mjson = tmp_path / "m.json"
+        html = tmp_path / "run.html"
+        assert main(["verify", triangle_file, "--heartbeat", "0.01",
+                     "--trace-json", str(trace),
+                     "--metrics-json", str(mjson)]) == 0
+        assert main(["report", str(trace), "--metrics", str(mjson),
+                     "-o", str(html)]) == 0
+        text = html.read_text()
+        assert text.rstrip().endswith("</html>")
+        assert "smt.solve" in text
+
+    def test_metrics_disabled_after_run(self, triangle_file, tmp_path):
+        from repro import metrics, perf
+
+        assert main(["simulate", triangle_file,
+                     "--metrics-json", str(tmp_path / "m.json")]) == 0
+        assert not metrics.is_enabled()
+        perf.disable()
+        perf.reset()

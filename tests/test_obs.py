@@ -193,6 +193,142 @@ class TestThreads:
         assert main.children == []
 
 
+class TestResetAcrossThreads:
+    def test_reset_clears_other_threads_stacks(self):
+        """A worker paused mid-span must not leak its stack into the next
+        trace session (the stack registry clears every thread's stack)."""
+        obs.enable()
+        opened = threading.Event()
+        release = threading.Event()
+        results = {}
+
+        def worker():
+            with obs.span("worker.outer"):
+                opened.set()
+                release.wait(timeout=10)
+                # After the main thread reset, our span stack was cleared:
+                # current() sees no open span even though the context
+                # manager has not exited yet.
+                results["current_after_reset"] = obs.current()
+
+        t = threading.Thread(target=worker)
+        t.start()
+        assert opened.wait(timeout=10)
+        obs.reset()  # main thread wipes all stacks, including the worker's
+        release.set()
+        t.join(timeout=10)
+        assert results["current_after_reset"] is None
+        # The worker's span does not adopt into the fresh session's roots.
+        assert obs.roots() == []
+
+    def test_worker_can_trace_again_after_reset(self):
+        obs.enable()
+        done = threading.Event()
+
+        def worker():
+            with obs.span("again"):
+                pass
+            done.set()
+
+        obs.reset()
+        t = threading.Thread(target=worker)
+        t.start()
+        assert done.wait(timeout=10)
+        t.join()
+        assert [r.name for r in obs.roots()] == ["again"]
+
+
+class TestJsonableContainers:
+    def test_native_containers_survive(self):
+        sink = io.StringIO()
+        obs.enable(jsonl=sink)
+        with obs.span("s",
+                      buckets=[[1, 2], [4, 5]],
+                      pair=(1, "two"),
+                      table={"a": 1, "b": [True, None]}):
+            pass
+        obs.disable()
+        (rec,) = [json.loads(line) for line in
+                  sink.getvalue().strip().splitlines()]
+        assert rec["attrs"]["buckets"] == [[1, 2], [4, 5]]
+        assert rec["attrs"]["pair"] == [1, "two"]  # tuples become arrays
+        assert rec["attrs"]["table"] == {"a": 1, "b": [True, None]}
+
+    def test_non_string_dict_keys_reprd(self):
+        assert obs._jsonable({(0, 1): "edge"}) == {"(0, 1)": "edge"}
+
+    def test_depth_limit_falls_back_to_repr(self):
+        deep = [[[[[[[["bottom"]]]]]]]]
+        out = obs._jsonable(deep)
+        assert isinstance(out, list)
+        flat = json.dumps(out)
+        assert "bottom" in flat  # still present, possibly as a repr string
+
+    def test_sets_still_repr(self):
+        assert obs._jsonable({1, 2} if False else frozenset({1})) == \
+            repr(frozenset({1}))
+
+
+class TestFlushPartial:
+    def test_open_spans_written_as_partial(self):
+        sink = io.StringIO()
+        obs.enable(jsonl=sink)
+        with obs.span("outer"):
+            with obs.span("inner.open", stage=3):
+                obs.flush_partial()
+                partials = [json.loads(line) for line in
+                            sink.getvalue().strip().splitlines()]
+        assert {p["name"] for p in partials} == {"outer", "inner.open"}
+        assert all(p["partial"] is True for p in partials)
+        (inner,) = [p for p in partials if p["name"] == "inner.open"]
+        assert inner["attrs"] == {"stage": 3}
+        assert inner["dur"] >= 0.0
+        obs.disable()
+        # The spans close normally afterwards: complete records supersede.
+        all_recs = [json.loads(line) for line in
+                    sink.getvalue().strip().splitlines()]
+        complete = [r for r in all_recs if not r.get("partial")]
+        assert {r["name"] for r in complete} == {"outer", "inner.open"}
+
+    def test_noop_when_disabled(self):
+        obs.flush_partial()  # must not raise
+
+
+class TestMemoryTracking:
+    def test_span_records_peak_and_net(self):
+        obs.enable()
+        obs.track_memory(True)
+        try:
+            with obs.span("alloc") as sp:
+                blob = bytearray(2_000_000)
+                del blob
+            assert sp.attrs["mem_peak_bytes"] >= 2_000_000
+            assert isinstance(sp.attrs["mem_net_bytes"], int)
+        finally:
+            obs.track_memory(False)
+            import tracemalloc
+            if tracemalloc.is_tracing():
+                tracemalloc.stop()
+
+    def test_nested_child_peak_propagates_to_parent(self):
+        obs.enable()
+        obs.track_memory(True)
+        try:
+            with obs.span("outer") as outer:
+                with obs.span("inner") as inner:
+                    blob = bytearray(3_000_000)
+                    del blob
+            assert inner.attrs["mem_peak_bytes"] >= 3_000_000
+            # The parent's high-water includes the child's burst.
+            assert outer.attrs["mem_peak_bytes"] >= \
+                inner.attrs["mem_peak_bytes"]
+        finally:
+            obs.track_memory(False)
+            import tracemalloc
+            if tracemalloc.is_tracing():
+                tracemalloc.stop()
+
+
 class TestRenderTree:
     def test_tree_contains_names_times_and_attrs(self):
         obs.enable()
@@ -207,3 +343,25 @@ class TestRenderTree:
         assert "mode=x" in out
         assert "├─ " in out and "└─ " in out
         assert "self " in out  # exclusive time shown for parents
+
+    def test_wide_spans_elided_past_cap(self):
+        obs.enable()
+        with obs.span("wide"):
+            for i in range(60):
+                with obs.span(f"child.{i:02d}"):
+                    pass
+        out = obs.render_tree()
+        assert "child.49" in out
+        assert "child.50" not in out
+        assert "… 10 more children" in out
+
+    def test_custom_cap_and_disabled_cap(self):
+        obs.enable()
+        with obs.span("wide"):
+            for i in range(12):
+                with obs.span(f"c{i}"):
+                    pass
+        assert "… 2 more children" in obs.render_tree(max_children=10)
+        full = obs.render_tree(max_children=0)
+        assert "more children" not in full
+        assert "c11" in full

@@ -148,3 +148,77 @@ class TestComponentFlushes:
             trans=lambda e, x: x, merge=lambda u, x, y: x)
         simulate(funcs)
         assert perf.snapshot() == {}
+
+
+class TestThreadSafety:
+    """The heartbeat samples perf.snapshot() from its own thread while hot
+    paths merge() from the main thread — the registry lock must make both
+    linearizable (no lost updates, no dict-changed-size errors)."""
+
+    def test_concurrent_merge_and_snapshot(self):
+        import threading
+
+        perf.enable()
+        stop = threading.Event()
+        errors: list[BaseException] = []
+        WRITERS, ROUNDS, STEP = 4, 200, 7
+
+        def writer(tag: int) -> None:
+            try:
+                for i in range(ROUNDS):
+                    perf.incr(f"w{tag}.count", STEP)
+                    perf.merge({"shared.total": STEP, f"w{tag}.keys": 1},
+                               prefix="mt.")
+            except BaseException as exc:  # pragma: no cover
+                errors.append(exc)
+
+        def reader() -> None:
+            try:
+                while not stop.is_set():
+                    snap = perf.snapshot()
+                    # A snapshot must be internally consistent enough to
+                    # iterate and serialize while writers are running.
+                    assert all(isinstance(v, (int, float))
+                               for v in snap.values())
+            except BaseException as exc:  # pragma: no cover
+                errors.append(exc)
+
+        readers = [threading.Thread(target=reader) for _ in range(2)]
+        writers = [threading.Thread(target=writer, args=(t,))
+                   for t in range(WRITERS)]
+        for t in readers + writers:
+            t.start()
+        for t in writers:
+            t.join(timeout=30)
+        stop.set()
+        for t in readers:
+            t.join(timeout=30)
+        assert not errors
+        snap = perf.snapshot()
+        # Exact totals: nothing was lost to racing read-modify-writes.
+        assert snap["mt.shared.total"] == WRITERS * ROUNDS * STEP
+        for t in range(WRITERS):
+            assert snap[f"w{t}.count"] == ROUNDS * STEP
+            assert snap[f"mt.w{t}.keys"] == ROUNDS
+
+    def test_concurrent_timers(self):
+        import threading
+
+        perf.enable()
+        errors: list[BaseException] = []
+
+        def worker() -> None:
+            try:
+                for _ in range(50):
+                    with perf.timer("mt.span_seconds"):
+                        pass
+            except BaseException as exc:  # pragma: no cover
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=30)
+        assert not errors
+        assert perf.snapshot()["mt.span_seconds"] >= 0.0

@@ -1,0 +1,154 @@
+"""HTML run-report generator tests (repro.report + the `repro report` CLI)."""
+
+import json
+import re
+
+import pytest
+
+from repro import metrics, obs, perf
+from repro.report import generate, load_trace, render_html
+
+
+@pytest.fixture(autouse=True)
+def clean_registries():
+    obs.disable()
+    obs.reset()
+    metrics.disable()
+    metrics.reset()
+    perf.disable()
+    perf.reset()
+    yield
+    obs.disable()
+    obs.reset()
+    metrics.disable()
+    metrics.reset()
+    perf.disable()
+    perf.reset()
+
+
+@pytest.fixture
+def session_trace(tmp_path):
+    """A real trace + metrics snapshot produced by the live stack."""
+    trace = tmp_path / "t.jsonl"
+    mjson = tmp_path / "m.json"
+    obs.enable(jsonl=str(trace))
+    perf.enable()
+    metrics.enable()
+    with obs.span("verify", file="net.nv"):
+        with obs.span("smt.encode", nodes=4):
+            perf.incr("sat.clauses", 120)
+        with obs.span("smt.solve"):
+            perf.incr("sat.conflicts", 40)
+            obs.event("progress", phase="smt.solve", elapsed=0.5,
+                      **{"sat.conflicts_per_sec": 80.0})
+            obs.event("sat.restart", conflicts=32)
+    metrics.set_gauge("bdd.nodes", 7)
+    metrics.observe_many("sat.lbd", [2, 3, 3, 9])
+    metrics.write_json(mjson)
+    obs.disable()
+    return trace, mjson
+
+
+class TestLoadTrace:
+    def test_tree_and_events(self, session_trace):
+        trace, _ = session_trace
+        roots, events = load_trace(trace)
+        assert [r.name for r in roots] == ["verify"]
+        assert [c.name for c in roots[0].children] == ["smt.encode", "smt.solve"]
+        assert {e["name"] for e in events} == {"progress", "sat.restart"}
+
+    def test_tolerates_truncated_garbage_lines(self, session_trace, tmp_path):
+        trace, _ = session_trace
+        mangled = tmp_path / "mangled.jsonl"
+        lines = trace.read_text().splitlines()
+        lines.insert(1, '{"type": "span", "id": 99, "na')  # truncated write
+        lines.append("not json at all")
+        mangled.write_text("\n".join(lines) + "\n")
+        roots, events = load_trace(mangled)
+        assert [r.name for r in roots] == ["verify"]
+        assert len(events) == 2
+
+    def test_partial_record_superseded_by_complete(self, tmp_path):
+        trace = tmp_path / "p.jsonl"
+        recs = [
+            {"type": "span", "id": 1, "parent": 0, "name": "solve",
+             "t0": 0.0, "dur": 0.4, "partial": True, "attrs": {},
+             "counters": {}},
+            {"type": "span", "id": 1, "parent": 0, "name": "solve",
+             "t0": 0.0, "dur": 1.0, "attrs": {}, "counters": {}},
+        ]
+        trace.write_text("\n".join(json.dumps(r) for r in recs) + "\n")
+        (root,), _ = load_trace(trace)
+        assert root.dur == 1.0
+        assert not root.partial
+
+    def test_partial_only_trace_is_usable(self, tmp_path):
+        trace = tmp_path / "p.jsonl"
+        recs = [
+            {"type": "span", "id": 1, "parent": 0, "name": "solve",
+             "t0": 0.0, "dur": 0.4, "partial": True, "attrs": {},
+             "counters": {}},
+        ]
+        trace.write_text("\n".join(json.dumps(r) for r in recs) + "\n")
+        (root,), _ = load_trace(trace)
+        assert root.partial
+
+
+class TestRenderHtml:
+    def test_self_contained_html(self, session_trace, tmp_path):
+        trace, mjson = session_trace
+        out = generate(trace, metrics_path=mjson, title="unit run")
+        html = out.read_text()
+        assert html.lstrip().lower().startswith("<!doctype html")
+        assert html.rstrip().endswith("</html>")
+        assert "unit run" in html
+        # Span names, counters, gauges, histograms all make it in.
+        for needle in ("smt.solve", "smt.encode", "sat.conflicts",
+                       "bdd.nodes", "sat.lbd", "progress"):
+            assert needle in html, needle
+        # Self-contained: no external scripts, stylesheets or images.
+        assert not re.findall(r'(?:src|href)\s*=\s*"(?!#)[^"]+"', html)
+        assert "<script" not in html.lower()
+
+    def test_default_output_path(self, session_trace):
+        trace, _ = session_trace
+        out = generate(trace)
+        assert out == trace.with_suffix(".html")
+        assert out.exists()
+
+    def test_render_without_metrics(self, session_trace):
+        trace, _ = session_trace
+        roots, events = load_trace(trace)
+        html = render_html(roots, events, None, title="no metrics")
+        assert "no metrics" in html
+        assert "</html>" in html
+
+    def test_attr_escaping(self, tmp_path):
+        trace = tmp_path / "x.jsonl"
+        rec = {"type": "span", "id": 1, "parent": 0,
+               "name": "<script>alert(1)</script>", "t0": 0.0, "dur": 0.1,
+               "attrs": {"note": "a<b&c"}, "counters": {}}
+        trace.write_text(json.dumps(rec) + "\n")
+        roots, events = load_trace(trace)
+        html = render_html(roots, events, None, title="esc")
+        assert "<script>alert(1)</script>" not in html
+        assert "&lt;script&gt;" in html
+
+
+class TestCli:
+    def test_report_subcommand(self, session_trace, tmp_path, capsys):
+        from repro.cli import main
+
+        trace, mjson = session_trace
+        out = tmp_path / "run.html"
+        rc = main(["report", str(trace), "--metrics", str(mjson),
+                   "-o", str(out), "--title", "cli report"])
+        assert rc == 0
+        assert "wrote" in capsys.readouterr().out
+        assert "cli report" in out.read_text()
+
+    def test_missing_trace_errors(self, tmp_path):
+        from repro.cli import main
+
+        with pytest.raises(SystemExit):
+            main(["report", str(tmp_path / "absent.jsonl")])
