@@ -9,17 +9,31 @@ Scaled setup: FatTree k=6 (9 leaf prefixes) single-link fault tolerance.
 Four modes: {single-prefix, all-prefixes} x {interpreted, native}.  Native
 times include compilation (amortised across per-prefix runs, as in the
 paper: compile once, simulate per destination).
+
+A fifth mode shards the single-prefix runs over a :mod:`repro.parallel`
+worker pool (worker counts from ``NV_BENCH_JOBS``, default ``1,2``): the
+per-prefix runs are embarrassingly parallel, so this measures the pool's
+scaling on the paper's natural decomposition.  ``jobs=1`` runs the same
+units in-process — its delta vs ``test_single_prefix[interp]`` is the
+sharding overhead.
 """
+
+import os
 
 import pytest
 
-from repro.analysis.fault import fault_tolerance_analysis
+from repro.analysis.fault import (fault_tolerance_analysis,
+                                  per_prefix_fault_tolerance)
 from repro.eval.compile_py import compile_network_functions
 from repro.srp.network import functions_from_program
 from repro.topology import leaf_nodes, sp_program
 
 K = 6
 PREFIXES = leaf_nodes(K)
+
+#: Worker counts for the sharded mode (``NV_BENCH_JOBS="1,4,8"`` overrides).
+JOBS_GRID = [int(j) for j in
+             os.environ.get("NV_BENCH_JOBS", "1,2").split(",") if j]
 
 
 def native_factory(ft_net, symbolics, ctx, interp):
@@ -72,3 +86,24 @@ def test_all_prefixes(benchmark, backend, networks_cache):
         iterations=1, rounds=1)
     benchmark.extra_info.update({"mode": f"all-{backend}",
                                  "violations": total})
+
+
+def run_single_prefix_sharded(networks_cache, jobs: int) -> int:
+    """Per-prefix fault-tolerance runs sharded over ``jobs`` workers."""
+    nets = [networks_cache(sp_program(K, dest=dest)) for dest in PREFIXES]
+    reports = per_prefix_fault_tolerance(nets, num_link_failures=1, jobs=jobs)
+    return sum(r.total_violations for r in reports)
+
+
+@pytest.mark.parametrize("jobs", JOBS_GRID)
+def test_single_prefix_sharded(benchmark, jobs, networks_cache):
+    """Separate-prefix mode over the worker pool: fig 13c's decomposition
+    is the scaling axis (timing excludes parse/type-check via the cache,
+    matching the other modes; worker-side interpreter env builds are
+    included, as compilation is for native)."""
+    total = benchmark.pedantic(
+        lambda: run_single_prefix_sharded(networks_cache, jobs),
+        iterations=1, rounds=1)
+    benchmark.extra_info.update({"mode": f"single-sharded-j{jobs}",
+                                 "jobs": jobs, "violations": total})
+    assert total == 0

@@ -16,7 +16,9 @@ PLDI 2020.  See :mod:`repro.api` for the high-level entry points:
     Some(1)
 """
 
-from .api import check_fault_tolerance, load, simulate, verify
+from .api import (check_fault_tolerance, load, simulate, simulate_many,
+                  verify, verify_many)
 
-__all__ = ["load", "simulate", "verify", "check_fault_tolerance"]
+__all__ = ["load", "simulate", "simulate_many", "verify", "verify_many",
+           "check_fault_tolerance"]
 __version__ = "0.1.0"

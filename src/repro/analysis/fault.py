@@ -8,15 +8,32 @@ the key-count per leaf is the class size.
 
 The driver also checks the base program's assertion on every class and can
 produce a concrete witness scenario per violating class.
+
+Two sharded variants fan the work out over :mod:`repro.parallel` worker
+processes:
+
+* :func:`fault_tolerance_sharded` partitions the *scenario space* by the
+  first failed link (a fixed number of link batches, independent of the
+  worker count, so the decomposition — and hence the merged report — is
+  identical at any ``jobs``).  Each worker simulates a batch-restricted
+  meta-protocol (out-of-batch scenarios collapse onto no-failure leaves)
+  and counts classes only over its own batch; the parent merges the
+  per-batch class lists in canonical batch order.
+* :func:`naive_fault_tolerance` optionally shards the §2.7 baseline's
+  one-simulation-per-scenario loop over the same pool.
+
+Hash-consed MTBDD state never crosses the process boundary: workers are
+seeded with the (picklable) base program and rebuild their own
+:class:`MapContext`; only the plain-value class reports travel back.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 from time import perf_counter
-from typing import Any
+from typing import Any, Sequence
 
-from .. import metrics, obs, perf
+from .. import metrics, obs, parallel, perf
 from ..eval.interp import Interpreter, program_env
 from ..eval.maps import MapContext, NVMap
 from ..lang import types as T
@@ -76,19 +93,27 @@ def fault_tolerance_analysis(net: Network,
                              node_failures: bool = False,
                              with_witnesses: bool = False,
                              functions_factory=None,
-                             drop_body=None) -> FaultReport:
+                             drop_body=None,
+                             link_batch: Sequence[tuple[int, int]] | None = None
+                             ) -> FaultReport:
     """Simulate all failure scenarios of ``net`` at once and check its
     assertion under every one of them.
 
     ``functions_factory`` optionally overrides how the transformed program is
     turned into executable functions (the compiled backend passes its own).
+
+    ``link_batch`` restricts the analysis to the scenarios whose first
+    failed link is one of the given physical links (see
+    :func:`fault_tolerance_sharded`): classes and witnesses are then counted
+    only over that slice of the scenario space.
     """
     t0 = perf_counter()
     with metrics.phase("fault.transform"), \
          obs.span("fault.transform", link_failures=num_link_failures,
                   node_failures=node_failures):
         ft_net = fault_tolerance_transform(net, num_link_failures,
-                                           node_failures, drop_body=drop_body)
+                                           node_failures, drop_body=drop_body,
+                                           link_batch=link_batch)
     transform_seconds = perf_counter() - t0
 
     with obs.span("fault.setup"):
@@ -128,16 +153,25 @@ def fault_tolerance_analysis(net: Network,
     reports: list[NodeFaultReport] = []
     witnesses: dict[int, Any] = {}
     key_ty = scenario_key_type(num_link_failures, node_failures)
+    # The key slice classes are counted over: the full valid-key domain, or
+    # its intersection with the batch-membership BDD under sharding.
+    restrict = ctx.domain(key_ty)
+    if link_batch is not None:
+        restrict = ctx.manager.band(
+            restrict, _batch_member_bdd(ctx, node_failures, link_batch))
     with metrics.phase("fault.classes"), \
-         obs.span("fault.classes", witnesses=with_witnesses) as sp:
+         obs.span("fault.classes", witnesses=with_witnesses,
+                  batched=link_batch is not None) as sp:
+        width = ctx.encoder.width(key_ty)
         for u in range(ft_net.num_nodes):
             label = solution.labels[u]
             assert isinstance(label, NVMap)
+            groups = ctx.manager.leaf_groups(label.root, width, restrict)
             classes = [(value, count, check(u, value))
-                       for value, count in label.groups().items()]
+                       for value, count in groups.items()]
             reports.append(NodeFaultReport(u, classes))
             if with_witnesses and any(not ok for _, _, ok in classes):
-                witness = _violation_witness(label, key_ty, check, u)
+                witness = _violation_witness(label, key_ty, check, u, restrict)
                 if witness is not None:
                     witnesses[u] = witness
         if sp is not None:
@@ -148,12 +182,16 @@ def fault_tolerance_analysis(net: Network,
                        simulate_seconds, transform_seconds, witnesses)
 
 
-def _violation_witness(label: NVMap, key_ty: T.Type, check, node: int) -> Any:
+def _violation_witness(label: NVMap, key_ty: T.Type, check, node: int,
+                       restrict: int | None = None) -> Any:
     """A concrete failure scenario under which ``node`` violates the
-    assertion, decoded from the converged MTBDD."""
+    assertion, decoded from the converged MTBDD.  ``restrict`` bounds the
+    search to a key slice (defaults to the full valid-key domain)."""
     mgr = label.ctx.manager
     bad = mgr.apply1(lambda value: not check(node, value), label.root)
-    bad = mgr.band(bad, label.ctx.domain(key_ty))
+    if restrict is None:
+        restrict = label.ctx.domain(key_ty)
+    bad = mgr.band(bad, restrict)
     width = label.ctx.encoder.width(key_ty)
     assignment = mgr.any_sat(bad, width)
     if assignment is None:
@@ -162,28 +200,287 @@ def _violation_witness(label: NVMap, key_ty: T.Type, check, node: int) -> Any:
     return label.ctx.encoder.decode(key_ty, bits)
 
 
+def _batch_member_bdd(ctx: MapContext, node_failures: bool,
+                      link_batch: Sequence[tuple[int, int]]) -> int:
+    """Boolean BDD over the scenario-key bits selecting the scenarios whose
+    first failed link belongs to ``link_batch`` (either orientation).
+
+    The first edge component sits at bit offset 0 (or after the failed-node
+    bits when ``node_failures``); its encoding is the source node's bits
+    followed by the destination's (see :mod:`repro.eval.encoding`).
+    """
+    mgr = ctx.manager
+    enc = ctx.encoder
+    offset = enc.node_width if node_failures else 0
+    out = mgr.false
+    for u, v in link_batch:
+        for a, b in ((u, v), (v, u)):
+            cube = mgr.true
+            for i, bit in enumerate(enc.encode(T.TEdge(), (a, b))):
+                var = mgr.var(offset + i)
+                cube = mgr.band(cube, var if bit else mgr.bnot(var))
+            out = mgr.bor(out, cube)
+    return out
+
+
+# ----------------------------------------------------------------------
+# Sharded execution (repro.parallel fan-out)
+# ----------------------------------------------------------------------
+
+def _native_functions_factory(ft_net, symbolics, ctx, interp):
+    """The compiled-backend functions factory (module-level so shard worker
+    payloads can name backends by string instead of pickling callables)."""
+    from ..eval.compile_py import compile_network_functions
+
+    return compile_network_functions(ft_net, symbolics, ctx=ctx)
+
+
+def _factory_for_backend(backend: str):
+    if backend == "interp":
+        return None
+    if backend == "native":
+        return _native_functions_factory
+    raise ValueError(f"unknown backend {backend!r}; use 'interp' or 'native'")
+
+
+def physical_links(net: Network) -> tuple[tuple[int, int], ...]:
+    """The network's undirected physical links (derived from the directed
+    edge set when the program did not record them)."""
+    if net.links:
+        return tuple(net.links)
+    seen: set[tuple[int, int]] = set()
+    links: list[tuple[int, int]] = []
+    for u, v in net.edges:
+        key = (u, v) if u <= v else (v, u)
+        if key not in seen:
+            seen.add(key)
+            links.append(key)
+    return tuple(links)
+
+
+def link_batches(net: Network, batches: int | None = None
+                 ) -> list[tuple[tuple[int, int], ...]]:
+    """Partition the physical links into a *fixed* number of batches.
+
+    The batch count defaults to ``min(8, num_links)`` and deliberately does
+    **not** depend on the worker count: the decomposition (and therefore the
+    merged report) is identical whether the batches run on 1 or 8 workers.
+    """
+    links = physical_links(net)
+    if not links:
+        return []
+    n = min(batches or 8, len(links))
+    n = max(1, n)
+    base, extra = divmod(len(links), n)
+    out: list[tuple[tuple[int, int], ...]] = []
+    start = 0
+    for i in range(n):
+        size = base + (1 if i < extra else 0)
+        out.append(links[start:start + size])
+        start += size
+    return out
+
+
+def freeze_fault_report(report: FaultReport) -> FaultReport:
+    """Make a fault report transportable: every route value (class
+    representatives, witnesses) has its live :class:`NVMap`s replaced by
+    picklable :class:`~repro.eval.maps.FrozenMap` snapshots.  Reports with
+    map-free routes come back with the same values."""
+    from ..eval.maps import freeze_value
+
+    nodes = [NodeFaultReport(
+        n.node, [(freeze_value(v), count, ok) for v, count, ok in n.classes])
+        for n in report.nodes]
+    witnesses = {u: freeze_value(w) for u, w in report.witnesses.items()}
+    return FaultReport(report.num_link_failures, report.node_failures, nodes,
+                       report.simulate_seconds, report.transform_seconds,
+                       witnesses)
+
+
+def _fault_shard_factory(payload: dict[str, Any]):
+    """Worker-side factory for :func:`fault_tolerance_sharded`: one
+    batch-restricted fig 5 analysis per unit.  The MapContext/BDD manager is
+    rebuilt here, per process — it never crosses the fork/spawn boundary;
+    results are frozen (maps snapshotted) before they travel back."""
+    net: Network = payload["net"]
+    factory = _factory_for_backend(payload["backend"])
+
+    def run(batch: tuple[tuple[int, int], ...]) -> FaultReport:
+        return freeze_fault_report(fault_tolerance_analysis(
+            net, payload["symbolics"],
+            num_link_failures=payload["num_link_failures"],
+            node_failures=payload["node_failures"],
+            with_witnesses=payload["with_witnesses"],
+            functions_factory=factory,
+            drop_body=payload["drop_body"],
+            link_batch=batch))
+
+    return run
+
+
+def merge_fault_reports(reports: Sequence[FaultReport]) -> FaultReport:
+    """Combine batch-restricted reports into one full-scenario-space report.
+
+    Per node, class counts for equal route values are summed across batches
+    (batches partition the scenario space, so the sums are exact); classes
+    are emitted in first-seen batch order, which is deterministic because
+    the batch decomposition is.  Witnesses keep the lowest-batch find.
+    Timings accumulate — they are total work, not wall clock.
+    """
+    if not reports:
+        raise ValueError("no fault reports to merge")
+    first = reports[0]
+    num_nodes = len(first.nodes)
+    merged_nodes: list[NodeFaultReport] = []
+    for u in range(num_nodes):
+        combined: dict[Any, list[Any]] = {}
+        for report in reports:
+            for value, count, ok in report.nodes[u].classes:
+                entry = combined.get(value)
+                if entry is None:
+                    combined[value] = [count, ok]
+                else:
+                    entry[0] += count
+        merged_nodes.append(NodeFaultReport(
+            u, [(value, count, ok) for value, (count, ok) in combined.items()]))
+    witnesses: dict[int, Any] = {}
+    for report in reports:
+        for u, witness in report.witnesses.items():
+            witnesses.setdefault(u, witness)
+    return FaultReport(
+        first.num_link_failures, first.node_failures, merged_nodes,
+        sum(r.simulate_seconds for r in reports),
+        sum(r.transform_seconds for r in reports),
+        witnesses)
+
+
+def fault_tolerance_sharded(net: Network,
+                            symbolics: dict[str, Any] | None = None,
+                            num_link_failures: int = 1,
+                            node_failures: bool = False,
+                            with_witnesses: bool = False,
+                            drop_body=None,
+                            backend: str = "interp",
+                            jobs: int | None = 1,
+                            batches: int | None = None,
+                            start_method: str | None = None) -> FaultReport:
+    """Fig 5 analysis decomposed into scenario batches over worker processes.
+
+    The scenario space is partitioned by the first failed link into
+    :func:`link_batches` batches (count independent of ``jobs``); each batch
+    runs a restricted meta-protocol in a pool worker and reports classes for
+    its own scenarios only; the merged report covers the full space and is
+    byte-identical for any ``jobs`` value.  ``jobs=1`` runs the same units
+    in-process; ``jobs=None`` resolves ``NV_JOBS`` / CPU count.
+    """
+    units = link_batches(net, batches)
+    if num_link_failures == 0 or not units:
+        # Nothing to partition on (node-failure-only analysis, or a network
+        # with no links): a single unrestricted unit keeps one code path.
+        factory = _factory_for_backend(backend)
+        return freeze_fault_report(fault_tolerance_analysis(
+            net, symbolics, num_link_failures=num_link_failures,
+            node_failures=node_failures, with_witnesses=with_witnesses,
+            functions_factory=factory, drop_body=drop_body))
+    payload = {
+        "net": net, "symbolics": symbolics,
+        "num_link_failures": num_link_failures,
+        "node_failures": node_failures,
+        "with_witnesses": with_witnesses,
+        "drop_body": drop_body, "backend": backend,
+    }
+    reports = parallel.run_sharded(
+        "repro.analysis.fault:_fault_shard_factory", payload, units,
+        jobs=jobs, start_method=start_method, label="fault")
+    perf.merge({"batches": len(units)}, prefix="fault.")
+    return merge_fault_reports(reports)
+
+
+def _prefix_shard_factory(payload: dict[str, Any]):
+    """Worker-side factory for :func:`per_prefix_fault_tolerance`: one full
+    fig 5 analysis per destination-prefix program (the fig 13c
+    "separate prefixes" decomposition)."""
+    nets: list[Network] = payload["nets"]
+    factory = _factory_for_backend(payload["backend"])
+
+    def run(idx: int) -> FaultReport:
+        return freeze_fault_report(fault_tolerance_analysis(
+            nets[idx], payload["symbolics"],
+            num_link_failures=payload["num_link_failures"],
+            node_failures=payload["node_failures"],
+            with_witnesses=payload["with_witnesses"],
+            functions_factory=factory,
+            drop_body=payload["drop_body"]))
+
+    return run
+
+
+def per_prefix_fault_tolerance(nets: Sequence[Network],
+                               symbolics: dict[str, Any] | None = None,
+                               num_link_failures: int = 1,
+                               node_failures: bool = False,
+                               with_witnesses: bool = False,
+                               drop_body=None,
+                               backend: str = "interp",
+                               jobs: int | None = 1,
+                               start_method: str | None = None
+                               ) -> list[FaultReport]:
+    """One fault-tolerance analysis per destination prefix, sharded over
+    worker processes (the paper's fig 13c single-prefix mode).  Reports come
+    back in input order regardless of completion order."""
+    payload = {
+        "nets": list(nets), "symbolics": symbolics,
+        "num_link_failures": num_link_failures,
+        "node_failures": node_failures,
+        "with_witnesses": with_witnesses,
+        "drop_body": drop_body, "backend": backend,
+    }
+    return parallel.run_sharded(
+        "repro.analysis.fault:_prefix_shard_factory", payload,
+        range(len(payload["nets"])), jobs=jobs, start_method=start_method,
+        label="fault.prefix")
+
+
+def _naive_scenario_violates(net: Network, symbolics: dict[str, Any] | None,
+                             failed: tuple[int, int]) -> bool:
+    """Simulate one concrete failure scenario; True iff the assertion is
+    violated somewhere."""
+    funcs = functions_from_program(net, symbolics)
+    base_trans = funcs.trans
+
+    def trans(edge, x, _failed=failed):
+        if edge == _failed or edge == (_failed[1], _failed[0]):
+            return None
+        return base_trans(edge, x)
+
+    funcs.trans = trans
+    solution = simulate(funcs)
+    return bool(solution.check_assertions(funcs.assert_fn))
+
+
+def _naive_shard_factory(payload: dict[str, Any]):
+    net: Network = payload["net"]
+    symbolics = payload["symbolics"]
+    return lambda failed: _naive_scenario_violates(net, symbolics, failed)
+
+
 def naive_fault_tolerance(net: Network,
                           symbolics: dict[str, Any] | None = None,
-                          num_link_failures: int = 1) -> tuple[bool, int]:
+                          num_link_failures: int = 1,
+                          jobs: int | None = 1,
+                          start_method: str | None = None) -> tuple[bool, int]:
     """The baseline the paper calls "orders-of-magnitude" slower: simulate
     each failure scenario independently (§2.7).  Returns (tolerant?, number
-    of scenarios simulated).  Single-link failures only."""
+    of scenarios simulated).  Single-link failures only.
+
+    Scenarios are independent, so ``jobs > 1`` fans them out over a
+    :mod:`repro.parallel` pool; the answer is identical at any job count.
+    """
     if num_link_failures != 1:
         raise NotImplementedError("the naive baseline enumerates single failures")
-    scenarios = 0
-    tolerant = True
-    for failed in net.edges:
-        scenarios += 1
-        funcs = functions_from_program(net, symbolics)
-        base_trans = funcs.trans
-
-        def trans(edge, x, _failed=failed):
-            if edge == _failed or edge == (_failed[1], _failed[0]):
-                return None
-            return base_trans(edge, x)
-
-        funcs.trans = trans
-        solution = simulate(funcs)
-        if solution.check_assertions(funcs.assert_fn):
-            tolerant = False
-    return tolerant, scenarios
+    units = list(net.edges)
+    violations = parallel.run_sharded(
+        "repro.analysis.fault:_naive_shard_factory",
+        {"net": net, "symbolics": symbolics}, units,
+        jobs=jobs, start_method=start_method, label="fault.naive")
+    return (not any(violations)), len(units)

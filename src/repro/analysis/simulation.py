@@ -10,9 +10,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from time import perf_counter
-from typing import Any
+from typing import Any, Sequence
 
-from .. import metrics, obs, perf
+from .. import metrics, obs, parallel, perf
 from ..eval.compile_py import compile_network_functions
 from ..srp.network import Network, functions_from_program
 from ..srp.simulate import simulate
@@ -41,11 +41,9 @@ class SimulationReport:
         stats = self.solution.stats
         if stats:
             extras = []
-            for base, label in (("trans_cache", "trans memo"),
-                                ("merge_cache", "merge memo")):
-                rate = perf.hit_rate(stats, base)
-                if rate is not None:
-                    extras.append(f"{label} {rate:.1%}")
+            rate = perf.hit_rate(stats, "merge_cache")
+            if rate is not None:
+                extras.append(f"merge memo {rate:.1%}")
             skipped = stats.get("skipped_activations")
             if skipped:
                 extras.append(f"{skipped} skipped activations")
@@ -104,3 +102,63 @@ def run_simulation(net: Network, symbolics: dict[str, Any] | None = None,
         violations = solution.check_assertions(funcs.assert_fn)
     return SimulationReport(solution, backend, setup_seconds,
                             simulate_seconds, violations)
+
+
+# ----------------------------------------------------------------------
+# Sharded execution: one simulation per destination prefix
+# ----------------------------------------------------------------------
+
+def freeze_simulation_report(report: SimulationReport) -> SimulationReport:
+    """Make a report transportable across the process boundary: converged
+    labels have their live :class:`~repro.eval.maps.NVMap`s replaced with
+    picklable :class:`~repro.eval.maps.FrozenMap` snapshots (map-free labels
+    come back unchanged)."""
+    from ..eval.maps import freeze_value
+
+    solution = report.solution
+    frozen = Solution([freeze_value(v) for v in solution.labels],
+                      iterations=solution.iterations,
+                      messages=solution.messages,
+                      stats=dict(solution.stats))
+    return SimulationReport(frozen, report.backend, report.setup_seconds,
+                            report.simulate_seconds, list(report.violations))
+
+
+def _sim_shard_factory(payload: dict[str, Any]):
+    """Worker-side factory for :func:`run_simulations`: per unit, simulate
+    one network (typically one destination prefix of the same topology —
+    the paper's fig 13c/14 per-prefix decomposition).  Interpreter
+    environments / compiled functions / BDD managers are rebuilt here,
+    once per unit, never pickled."""
+    nets: list[Network] = payload["nets"]
+
+    def run(idx: int) -> SimulationReport:
+        return freeze_simulation_report(run_simulation(
+            nets[idx], payload["symbolics"], payload["backend"],
+            incremental=payload["incremental"], lower=payload["lower"]))
+
+    return run
+
+
+def run_simulations(nets: Sequence[Network],
+                    symbolics: dict[str, Any] | None = None,
+                    backend: str = "interp",
+                    incremental: bool = True,
+                    lower: bool = False,
+                    jobs: int | None = 1,
+                    start_method: str | None = None
+                    ) -> list[SimulationReport]:
+    """Simulate several networks (one per destination prefix) to
+    convergence, sharded over a :mod:`repro.parallel` worker pool.
+
+    Reports come back in input order; ``jobs=1`` runs the same units
+    in-process through the same code path, so parallel output is identical
+    to serial.  ``jobs=None`` resolves ``NV_JOBS`` / CPU count.
+    """
+    payload = {"nets": list(nets), "symbolics": symbolics,
+               "backend": backend, "incremental": incremental,
+               "lower": lower}
+    return parallel.run_sharded(
+        "repro.analysis.simulation:_sim_shard_factory", payload,
+        range(len(payload["nets"])), jobs=jobs, start_method=start_method,
+        label="sim")

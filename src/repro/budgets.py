@@ -6,7 +6,7 @@ op-cache misses, SAT conflicts — are deterministic for a fixed workload.  A
 semantic regression (a memo cache silently disabled, an extra re-merge, a
 simplification pass dropped) moves them by orders of magnitude even when
 wall-clock noise hides it.  PR 1's 29.7x fig-14 win, for example, is
-entirely visible as ``sim.trans_cache_hits`` collapsing to zero when the
+entirely visible as ``sim.merge_cache_hits`` collapsing to zero when the
 memo layer is turned off.
 
 ``benchmarks/budgets.json`` pins the expected counter values for a set of

@@ -4,8 +4,14 @@ Mirrors the original artifact's ``nv`` binary: point it at an NV source file
 (or a directory of router configurations) and pick an analysis.
 
     python -m repro simulate network.nv [--native] [--symbolic name=value ...]
-    python -m repro verify network.nv
+    python -m repro verify network.nv [--portfolio K]
     python -m repro fault network.nv [--links N] [--nodes] [--witnesses]
+
+The three analysis commands take ``--jobs N`` (default ``$NV_JOBS``, else
+the CPU count capped at 8) and shard their work over worker processes:
+``simulate``/``verify`` across several input files (one per destination
+prefix), ``fault`` across failure-scenario batches.  ``--jobs 1`` runs the
+identical work serially, in-process.
     python -m repro explain network.nv NODE
     python -m repro translate configs_dir/ [--assert-prefix A.B.C.D/L] [-o out.nv]
 
@@ -37,10 +43,11 @@ import sys
 from pathlib import Path
 from typing import Any
 
-from . import metrics, obs, perf
-from .analysis.fault import fault_tolerance_analysis
-from .analysis.simulation import run_simulation
+from . import metrics, obs, parallel, perf
+from .analysis.fault import fault_tolerance_sharded
+from .analysis.simulation import run_simulation, run_simulations
 from .analysis.verify import verify as smt_verify
+from .analysis.verify import verify_many
 from .eval.interp import Interpreter
 from .eval.maps import MapContext
 from .eval.values import value_repr
@@ -104,22 +111,33 @@ def _heartbeat_on(args: argparse.Namespace) -> bool:
 
 def cmd_simulate(args: argparse.Namespace) -> int:
     _maybe_enable_stats(args)
-    net = _load_network(args.file)
-    symbolics = _parse_symbolics(args.symbolic, net)
+    nets = [_load_network(f) for f in args.file]
+    symbolics = _parse_symbolics(args.symbolic, nets[0])
     # --trace defaults to running the (value-preserving subset of the) §5.2
     # pipeline so the span tree shows per-pass work; --lower/--no-lower
     # overrides in either direction.
     lower = args.lower if args.lower is not None else _tracing(args)
-    report = run_simulation(net, symbolics,
-                            backend="native" if args.native else "interp",
-                            lower=lower)
-    print(report.summary())
-    if args.show_routes:
-        print(report.solution.pretty(max_nodes=args.max_nodes))
-    if report.violations:
-        print(f"assertion violated at nodes: {report.violations}")
-        return 1
-    return 0
+    backend = "native" if args.native else "interp"
+    if len(nets) == 1:
+        # Single network: run in-process (live labels, exact legacy output).
+        reports = [run_simulation(nets[0], symbolics, backend, lower=lower)]
+    else:
+        # Several networks (e.g. one file per destination prefix): shard
+        # over the worker pool.  Labels come back frozen (picklable
+        # snapshots) but summaries/violations are unaffected.
+        reports = run_simulations(nets, symbolics, backend, lower=lower,
+                                  jobs=parallel.resolve_jobs(args.jobs))
+    rc = 0
+    for path, report in zip(args.file, reports):
+        if len(nets) > 1:
+            print(f"== {path}")
+        print(report.summary())
+        if args.show_routes:
+            print(report.solution.pretty(max_nodes=args.max_nodes))
+        if report.violations:
+            print(f"assertion violated at nodes: {report.violations}")
+            rc = 1
+    return rc
 
 
 def cmd_explain(args: argparse.Namespace) -> int:
@@ -154,19 +172,36 @@ def cmd_explain(args: argparse.Namespace) -> int:
 
 def cmd_verify(args: argparse.Namespace) -> int:
     _maybe_enable_stats(args)
-    net = _load_network(args.file)
-    result = smt_verify(net, max_conflicts=args.max_conflicts)
-    print(result.summary())
+    nets = [_load_network(f) for f in args.file]
+    if len(nets) == 1:
+        results = [smt_verify(nets[0], max_conflicts=args.max_conflicts,
+                              portfolio=args.portfolio, jobs=args.jobs)]
+    else:
+        # One independent SMT query per file (e.g. per destination prefix),
+        # sharded over the worker pool.  --portfolio targets a single hard
+        # query; with several files the parallelism axis is across queries.
+        if args.portfolio > 1:
+            print("note: --portfolio ignored with multiple files "
+                  "(queries shard across workers instead)", file=sys.stderr)
+        results = verify_many(nets, max_conflicts=args.max_conflicts,
+                              jobs=parallel.resolve_jobs(args.jobs))
+    rc = 0
+    for path, result in zip(args.file, results):
+        if len(nets) > 1:
+            print(f"== {path}")
+        print(result.summary())
+        if result.status == "counterexample":
+            for name, value in result.counterexample.items():
+                print(f"  symbolic {name} = {value_repr(value)}")
+            if args.show_routes:
+                for node, attr in sorted(result.node_attrs.items()):
+                    print(f"  node {node}: {value_repr(attr)}")
+            rc = max(rc, 1)
+        elif not result.verified:
+            rc = max(rc, 2)
     if args.stats:
         print(perf.report())
-    if result.status == "counterexample":
-        for name, value in result.counterexample.items():
-            print(f"  symbolic {name} = {value_repr(value)}")
-        if args.show_routes:
-            for node, attr in sorted(result.node_attrs.items()):
-                print(f"  node {node}: {value_repr(attr)}")
-        return 1
-    return 0 if result.verified else 2
+    return rc
 
 
 def cmd_fault(args: argparse.Namespace) -> int:
@@ -174,10 +209,10 @@ def cmd_fault(args: argparse.Namespace) -> int:
     net = _load_network(args.file)
     symbolics = _parse_symbolics(args.symbolic, net)
     drop_body = parse_expr(args.drop) if args.drop else None
-    report = fault_tolerance_analysis(
+    report = fault_tolerance_sharded(
         net, symbolics, num_link_failures=args.links,
         node_failures=args.nodes, with_witnesses=args.witnesses,
-        drop_body=drop_body)
+        drop_body=drop_body, jobs=parallel.resolve_jobs(args.jobs))
     print(report.summary())
     for node, witness in sorted(report.witnesses.items()):
         print(f"  node {node} violates under failure scenario {witness}")
@@ -257,6 +292,13 @@ def _add_obs_args(p: argparse.ArgumentParser) -> None:
                         "budget")
 
 
+def _add_jobs_arg(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--jobs", type=int, default=None, metavar="N",
+                   help="worker processes for sharded analyses "
+                        "(default: $NV_JOBS, else CPU count capped at "
+                        f"{parallel.MAX_DEFAULT_JOBS}; 1 = serial)")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -264,7 +306,10 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     simulate = sub.add_parser("simulate", help="compute the stable state")
-    simulate.add_argument("file")
+    simulate.add_argument("file", nargs="+",
+                          help="NV source file(s); several files (e.g. one "
+                               "per destination prefix) shard across "
+                               "--jobs worker processes")
     simulate.add_argument("--native", action="store_true",
                           help="compile NV to Python first (§5.1)")
     simulate.add_argument("--symbolic", action="append", default=[],
@@ -277,14 +322,23 @@ def build_parser() -> argparse.ArgumentParser:
                                "(inline + partial-eval) before simulating "
                                "(default: only under --trace)")
     _add_obs_args(simulate)
+    _add_jobs_arg(simulate)
     simulate.set_defaults(fn=cmd_simulate)
 
     verify = sub.add_parser("verify", help="SMT verification over all "
                             "stable states and symbolic values")
-    verify.add_argument("file")
+    verify.add_argument("file", nargs="+",
+                        help="NV source file(s); several files run as "
+                             "independent queries sharded across --jobs "
+                             "worker processes")
     verify.add_argument("--max-conflicts", type=int, default=None)
     verify.add_argument("--show-routes", action="store_true")
+    verify.add_argument("--portfolio", type=int, default=1, metavar="K",
+                        help="race K diversified CDCL strategies on a "
+                             "single query; first answer wins, losers are "
+                             "cancelled (single-file mode only)")
     _add_obs_args(verify)
+    _add_jobs_arg(verify)
     verify.set_defaults(fn=cmd_verify)
 
     fault = sub.add_parser("fault", help="fault-tolerance meta-protocol (fig 5)")
@@ -299,6 +353,7 @@ def build_parser() -> argparse.ArgumentParser:
     fault.add_argument("--drop", default=None,
                        help="NV expression for the dropped route (default None)")
     _add_obs_args(fault)
+    _add_jobs_arg(fault)
     fault.set_defaults(fn=cmd_fault)
 
     explain = sub.add_parser(
@@ -370,8 +425,11 @@ def main(argv: list[str] | None = None) -> int:
             install_sigint=True)
         heartbeat.start()
 
+    file_attr = getattr(args, "file", None)
+    if isinstance(file_attr, list):
+        file_attr = file_attr[0] if len(file_attr) == 1 else ",".join(file_attr)
     try:
-        with obs.span(args.command, file=getattr(args, "file", None)):
+        with obs.span(args.command, file=file_attr):
             rc = args.fn(args)
         if heartbeat is not None:
             heartbeat.stop()

@@ -9,12 +9,14 @@ simulator's convergence check relies on.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Any, Callable
 
-from ..bdd.manager import BddManager
+from ..bdd.manager import LEAF_LEVEL, BddManager
 from ..lang import types as T
 from ..lang.errors import NvEncodingError
 from .encoding import Encoder
+from .values import VRecord, VSome
 
 
 class MapContext:
@@ -139,3 +141,63 @@ class NVMap:
 
 def _freeze(key: Any) -> Any:
     return key
+
+
+# ----------------------------------------------------------------------
+# Picklable map snapshots (for cross-process result transport)
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class FrozenMap:
+    """A picklable, structurally comparable snapshot of an :class:`NVMap`.
+
+    ``tree`` is the map's canonical MTBDD as nested tuples —
+    ``("leaf", value)`` at the bottom, ``(level, lo, hi)`` above — so two
+    maps over the same network are equal iff their frozen trees are
+    (MTBDDs are canonical for a fixed variable order).  Shard workers use
+    this to ship map-valued routes back to the parent: the live map's
+    hash-consed manager never crosses the process boundary
+    (see :mod:`repro.parallel`).
+    """
+
+    key_ty: T.Type
+    tree: Any
+
+    def __repr__(self) -> str:
+        return f"<FrozenMap key={self.key_ty}>"
+
+
+def freeze_value(value: Any) -> Any:
+    """Recursively replace every :class:`NVMap` inside an NV value with a
+    :class:`FrozenMap`.  Non-map values come back equal to the input, so
+    freezing is safe to apply to any route before pickling it."""
+    if isinstance(value, NVMap):
+        return FrozenMap(value.key_ty,
+                         _freeze_tree(value.ctx.manager, value.root, {}))
+    if isinstance(value, VSome):
+        frozen = freeze_value(value.value)
+        return value if frozen is value.value else VSome(frozen)
+    if isinstance(value, VRecord):
+        fields = tuple((n, freeze_value(v)) for n, v in value.fields)
+        if all(new is old for (_, new), (_, old) in zip(fields, value.fields)):
+            return value
+        return VRecord(fields)
+    if isinstance(value, tuple):
+        frozen_elts = tuple(freeze_value(v) for v in value)
+        if all(new is old for new, old in zip(frozen_elts, value)):
+            return value
+        return frozen_elts
+    return value
+
+
+def _freeze_tree(mgr: BddManager, n: int, memo: dict[int, Any]) -> Any:
+    out = memo.get(n)
+    if out is None:
+        if mgr._level[n] == LEAF_LEVEL:
+            out = ("leaf", freeze_value(mgr._leaf_value[n]))
+        else:
+            out = (mgr._level[n],
+                   _freeze_tree(mgr, mgr._lo[n], memo),
+                   _freeze_tree(mgr, mgr._hi[n], memo))
+        memo[n] = out
+    return out

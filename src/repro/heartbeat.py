@@ -51,6 +51,7 @@ STATUS_GAUGES: tuple[str, ...] = (
     "sat.learnts", "sat.clause_db", "sat.trail",
     "sim.worklist_depth", "sim.interned_routes",
     "bdd.nodes", "bdd.op_cache_entries",
+    "parallel.units_done", "parallel.units_total",
     "proc.rss_bytes",
 )
 
@@ -261,6 +262,10 @@ class Heartbeat:
             v = sample.get(key)
             if v is not None:
                 parts.append(f"{label} {_fmt_count(v)}")
+        total = sample.get("parallel.units_total")
+        if total:
+            done = sample.get("parallel.units_done", 0)
+            parts.append(f"shards {int(done)}/{int(total)}")
         rss = sample.get("proc.rss_bytes")
         if rss:
             parts.append(f"rss {rss / (1 << 20):.0f}MB")

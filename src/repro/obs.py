@@ -240,6 +240,55 @@ def event(name: str, **attrs: Any) -> None:
             "attrs": {k: _jsonable(v) for k, v in attrs.items()}})
 
 
+def now() -> float:
+    """Seconds since tracing was enabled (the trace timeline's clock);
+    0.0 when disabled."""
+    return (perf_counter() - _origin) if _enabled else 0.0
+
+
+def ingest(records: list[dict[str, Any]], t_offset: float = 0.0,
+           **extra_attrs: Any) -> None:
+    """Re-emit pre-serialised trace records into the current sink.
+
+    This is how :mod:`repro.parallel` merges worker-process traces into the
+    parent's timeline: each worker traces into an in-memory JSONL buffer
+    whose parsed records are forwarded over the result channel and ingested
+    here.  Span/event ids are **remapped** through the parent's id counter
+    (worker-local ids would collide between workers), parent/span links are
+    rewritten consistently, ``t``/``t0`` are shifted by ``t_offset`` (the
+    parent-timeline instant the worker's clock started), and
+    ``extra_attrs`` (e.g. ``proc=3``) are stamped onto every record.
+    No-op when tracing is disabled.
+    """
+    if not _enabled:
+        return
+    id_map: dict[int, int] = {0: 0}
+
+    def remap(old: Any) -> int:
+        old = int(old or 0)
+        new = id_map.get(old)
+        if new is None:
+            new = id_map[old] = next(_ids)
+        return new
+
+    for rec in records:
+        rec = dict(rec)
+        if "id" in rec:
+            rec["id"] = remap(rec["id"])
+        if "parent" in rec:
+            rec["parent"] = remap(rec["parent"])
+        if "span" in rec:
+            rec["span"] = remap(rec["span"])
+        for key in ("t", "t0"):
+            if key in rec:
+                rec[key] = round(float(rec[key]) + t_offset, 6)
+        if extra_attrs:
+            attrs = dict(rec.get("attrs") or {})
+            attrs.update(extra_attrs)
+            rec["attrs"] = attrs
+        _write(rec)
+
+
 @contextmanager
 def span(name: str, **attrs: Any) -> Iterator[Span | None]:
     """Open a nested span.  Yields the :class:`Span` (mutate ``sp.attrs`` to

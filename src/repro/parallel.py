@@ -1,0 +1,484 @@
+"""Process-pool execution subsystem (``repro.parallel``).
+
+The paper's three heaviest workloads — all-prefix simulation (fig 14),
+fault-tolerance scenario checking (fig 13b), and per-destination SMT
+verification (fig 12) — decompose into *embarrassingly independent* units:
+prefixes, failure-scenario batches, destination slices.  This module is the
+shared fan-out engine the analysis drivers run those units through:
+
+* **Warm persistent workers.**  A :class:`WorkerPool` starts ``jobs``
+  processes once per run.  Each worker receives one picklable *payload*
+  (typically a parsed NV :class:`~repro.lang.ast.Program` — plain dataclass
+  ASTs pickle cheaply) and calls a module-level *factory* exactly once to
+  build its per-process state.  Unpicklable hash-consed structures — BDD
+  managers, interned routes, interpreter closures — are **rebuilt
+  worker-side** by that factory; they never cross the process boundary.
+* **Chunked work queue with dynamic stealing.**  Units are enqueued as
+  chunks on one shared queue; free workers pull the next chunk as soon as
+  they finish, so an unlucky shard (one slow prefix, one hard SAT slice)
+  never stalls the rest of the pool behind a static partition.
+* **Deterministic merging.**  Every result carries its unit index; the
+  parent reassembles the result list in canonical unit order, so parallel
+  output is byte-identical to ``--jobs 1`` regardless of completion order.
+* **Serial fallback.**  ``jobs=1`` (or a single unit) runs everything
+  in-process through the *same* factory/unit code path — no multiprocessing
+  import, no queues, no pickling.
+* **Counter/metrics forwarding.**  Workers inherit the parent's
+  :mod:`repro.perf` / :mod:`repro.metrics` / :mod:`repro.obs` enablement.
+  On shutdown each worker flushes its perf counters, metric histograms and
+  trace records over the result channel; the parent aggregates them into
+  the live registries (``perf.merge``, ``metrics.record_histogram``,
+  ``obs.ingest``), so ``--stats``, counter budgets, heartbeat progress and
+  the HTML run report see one coherent run.
+* **First-answer racing** (:func:`race`) for SAT portfolios: N workers
+  attack the same problem with different seeds; the first answer wins and
+  the losers are cancelled (terminated) immediately.
+
+Worker selection: ``jobs`` argument > ``NV_JOBS`` environment variable >
+``os.cpu_count()`` capped at :data:`MAX_DEFAULT_JOBS`.  The ``fork`` start
+method is preferred (milliseconds of startup, payload shared copy-on-write);
+``spawn`` platforms work too but pay an interpreter+import startup cost per
+worker — see README "Parallel execution".
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import os
+import traceback
+from typing import Any, Callable, Iterator, Sequence
+
+from . import metrics, obs, perf
+
+#: Default cap on the worker count when it is derived from ``os.cpu_count()``
+#: (explicit ``jobs=``/``NV_JOBS`` values may exceed it).
+MAX_DEFAULT_JOBS = 8
+
+#: Gauge names the parent maintains while a sharded run is in flight; the
+#: heartbeat surfaces them as ``shards done/total`` progress.
+GAUGE_DONE = "parallel.units_done"
+GAUGE_TOTAL = "parallel.units_total"
+
+
+class ParallelError(RuntimeError):
+    """A worker failed; carries the remote traceback text."""
+
+    def __init__(self, message: str, remote_traceback: str = "") -> None:
+        super().__init__(message)
+        self.remote_traceback = remote_traceback
+
+
+def resolve_jobs(jobs: int | None = None) -> int:
+    """The effective worker count: explicit argument, else ``NV_JOBS``, else
+    ``os.cpu_count()`` capped at :data:`MAX_DEFAULT_JOBS` (never < 1)."""
+    if jobs is None:
+        env = os.environ.get("NV_JOBS", "").strip()
+        if env:
+            try:
+                jobs = int(env)
+            except ValueError:
+                raise ParallelError(f"NV_JOBS={env!r} is not an integer")
+        else:
+            jobs = min(os.cpu_count() or 1, MAX_DEFAULT_JOBS)
+    return max(1, int(jobs))
+
+
+def chunk_units(num_units: int, jobs: int,
+                chunk_size: int | None = None) -> list[list[int]]:
+    """Split unit indices into chunks for the work queue.
+
+    The default chunk size targets ~4 chunks per worker so the dynamic
+    queue can rebalance around slow units, without paying one IPC round
+    trip per unit.
+    """
+    if num_units <= 0:
+        return []
+    if chunk_size is None:
+        chunk_size = max(1, -(-num_units // max(1, jobs * 4)))
+    chunk_size = max(1, int(chunk_size))
+    return [list(range(i, min(i + chunk_size, num_units)))
+            for i in range(0, num_units, chunk_size)]
+
+
+def _resolve_ref(ref: str) -> Callable[..., Any]:
+    """Import ``"pkg.module:attr"`` — the spawn-safe way to name a worker
+    factory (callables themselves may not pickle; module paths always do)."""
+    import importlib
+
+    if ":" not in ref:
+        raise ParallelError(f"worker ref {ref!r} must be 'module:attribute'")
+    mod_name, attr = ref.split(":", 1)
+    fn = getattr(importlib.import_module(mod_name), attr, None)
+    if fn is None:
+        raise ParallelError(f"worker ref {ref!r} does not resolve")
+    return fn
+
+
+def _format_exc(exc: BaseException) -> str:
+    return "".join(traceback.format_exception(type(exc), exc,
+                                              exc.__traceback__))
+
+
+def default_start_method() -> str:
+    """``fork`` when the platform offers it (fast, copy-on-write payload),
+    else ``spawn``."""
+    import multiprocessing as mp
+
+    return "fork" if "fork" in mp.get_all_start_methods() else "spawn"
+
+
+# ----------------------------------------------------------------------
+# Worker side
+# ----------------------------------------------------------------------
+
+def _worker_main(wid: int, worker_ref: str, payload: Any,
+                 flags: dict[str, bool], task_q: Any, result_q: Any) -> None:
+    """Entry point of one pool worker process.
+
+    Protocol on ``result_q``:
+
+    * ``("chunk", wid, [(unit_index, result), ...])`` per completed chunk;
+    * ``("error", wid, unit_index, traceback_text)`` then exit on failure;
+    * ``("done", wid, perf_snapshot, hist_dicts, obs_lines)`` on the
+      shutdown sentinel — the worker's counter/metrics/trace flush.
+    """
+    try:
+        # Inherit the parent's observability enablement.  Under fork the
+        # registries arrive pre-populated with the parent's counts; reset
+        # so the final flush reports only *this worker's* work (otherwise
+        # the parent-side aggregation would double-count its own history).
+        perf.reset()
+        if flags.get("perf"):
+            perf.enable()
+        else:
+            perf.disable()
+        trace_buf: io.StringIO | None = None
+        obs.reset()
+        if flags.get("trace"):
+            trace_buf = io.StringIO()
+            obs.enable(jsonl=trace_buf)
+        else:
+            obs.disable()
+        metrics.reset()
+        if flags.get("metrics"):
+            metrics.enable()
+        else:
+            metrics.disable()
+        fn = _resolve_ref(worker_ref)(payload)
+    except BaseException as exc:  # noqa: BLE001 - forwarded to the parent
+        result_q.put(("error", wid, -1, _format_exc(exc)))
+        return
+    while True:
+        task = task_q.get()
+        if task is None:
+            break
+        out: list[tuple[int, Any]] = []
+        try:
+            for idx, unit in task:
+                out.append((idx, fn(unit)))
+        except BaseException as exc:  # noqa: BLE001
+            result_q.put(("error", wid, task[len(out)][0], _format_exc(exc)))
+            return
+        result_q.put(("chunk", wid, out))
+    # Shutdown flush: everything this worker accumulated, in picklable form.
+    snapshot = perf.snapshot() if flags.get("perf") else {}
+    hists: dict[str, dict[str, Any]] = {}
+    if flags.get("metrics"):
+        _, live_hists = metrics.sample()
+        hists = {name: h.to_dict() for name, h in live_hists.items()}
+    lines: list[str] = []
+    if trace_buf is not None:
+        obs.disable()
+        lines = [ln for ln in trace_buf.getvalue().splitlines() if ln]
+    result_q.put(("done", wid, snapshot, hists, lines))
+
+
+def _ingest_worker_flush(wid: int, snapshot: dict[str, Any],
+                         hists: dict[str, dict[str, Any]],
+                         lines: list[str], t_offset: float = 0.0) -> None:
+    """Merge one worker's shutdown flush into the parent registries."""
+    if snapshot:
+        perf.merge(snapshot)
+    for name, data in hists.items():
+        metrics.record_histogram(name, metrics.Histogram.from_dict(data))
+    if lines:
+        records = []
+        for ln in lines:
+            try:
+                records.append(json.loads(ln))
+            except ValueError:  # pragma: no cover - truncated worker sink
+                continue
+        obs.ingest(records, t_offset=t_offset, proc=wid)
+
+
+# ----------------------------------------------------------------------
+# Parent side
+# ----------------------------------------------------------------------
+
+class WorkerPool:
+    """A pool of warm worker processes bound to one factory + payload.
+
+    Use :func:`run_sharded` unless you need to push several unit batches
+    through the same warm workers (amortising worker startup and the
+    worker-side program rebuild across rounds)::
+
+        with WorkerPool("repro.analysis.fault:_shard_factory", payload,
+                        jobs=4) as pool:
+            first = pool.map(units_a)
+            second = pool.map(units_b)
+    """
+
+    def __init__(self, worker_ref: str, payload: Any, *,
+                 jobs: int | None = None,
+                 start_method: str | None = None,
+                 label: str = "parallel") -> None:
+        self.worker_ref = worker_ref
+        self.payload = payload
+        self.jobs = resolve_jobs(jobs)
+        self.label = label
+        self._serial_fn: Callable[[Any], Any] | None = None
+        self._procs: list[Any] = []
+        self._task_q: Any = None
+        self._result_q: Any = None
+        #: Parent-timeline instant the workers' trace clocks start, so
+        #: ingested worker records land at the right spot on the timeline.
+        self._t_offset = obs.now()
+        if self.jobs <= 1:
+            return
+        import multiprocessing as mp
+
+        ctx = mp.get_context(start_method or default_start_method())
+        self._task_q = ctx.Queue()
+        self._result_q = ctx.Queue()
+        flags = {"perf": perf.is_enabled(), "trace": obs.is_enabled(),
+                 "metrics": metrics.is_enabled()}
+        for wid in range(self.jobs):
+            p = ctx.Process(
+                target=_worker_main,
+                args=(wid, worker_ref, payload, flags,
+                      self._task_q, self._result_q),
+                daemon=True, name=f"repro-worker-{wid}")
+            p.start()
+            self._procs.append(p)
+
+    # -- lifecycle -----------------------------------------------------
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+    def close(self) -> None:
+        """Send shutdown sentinels, collect worker counter flushes, and
+        reap the processes.  Idempotent."""
+        if not self._procs:
+            return
+        procs, self._procs = self._procs, []
+        try:
+            for _ in procs:
+                self._task_q.put(None)
+            pending = len(procs)
+            while pending:
+                kind, wid, *rest = self._get_result(procs)
+                if kind == "done":
+                    _ingest_worker_flush(wid, *rest,
+                                         t_offset=self._t_offset)
+                    pending -= 1
+                elif kind == "error":
+                    pending -= 1  # a dying worker flushes nothing
+        except ParallelError:
+            for p in procs:
+                if p.is_alive():
+                    p.terminate()
+        finally:
+            for p in procs:
+                p.join(timeout=10.0)
+                if p.is_alive():  # pragma: no cover - wedged worker
+                    p.terminate()
+                    p.join(timeout=5.0)
+
+    def terminate(self) -> None:
+        """Hard-kill all workers (used on error paths)."""
+        procs, self._procs = self._procs, []
+        for p in procs:
+            if p.is_alive():
+                p.terminate()
+        for p in procs:
+            p.join(timeout=5.0)
+
+    # -- execution -----------------------------------------------------
+
+    def _get_result(self, procs: list[Any]) -> tuple:
+        """One message off the result queue, watching worker liveness so a
+        crashed worker (OOM kill, segfault) raises instead of hanging."""
+        import queue as queue_mod
+
+        while True:
+            try:
+                return self._result_q.get(timeout=1.0)
+            except queue_mod.Empty:
+                dead = [p for p in procs if not p.is_alive()
+                        and p.exitcode not in (0, None)]
+                if dead:
+                    raise ParallelError(
+                        f"worker {dead[0].name} died with exit code "
+                        f"{dead[0].exitcode}")
+
+    def map(self, units: Sequence[Any],
+            chunk_size: int | None = None) -> list[Any]:
+        """Run every unit through the pool; results in unit order.
+
+        Progress is published while chunks complete: the parent bumps the
+        ``parallel.units_done``/``parallel.units_total`` gauges (rendered
+        by the heartbeat's ``--progress`` line as ``shards d/t``) and emits
+        one ``parallel.chunk_done`` trace event per chunk.
+        """
+        units = list(units)
+        if self.jobs <= 1 or len(units) <= 1 or not self._procs:
+            if self._serial_fn is None:
+                self._serial_fn = _resolve_ref(self.worker_ref)(self.payload)
+            return [self._serial_fn(u) for u in units]
+
+        chunks = chunk_units(len(units), self.jobs, chunk_size)
+        for chunk in chunks:
+            self._task_q.put([(i, units[i]) for i in chunk])
+        total = len(units)
+        done = 0
+        metrics.set_gauge(GAUGE_TOTAL, total)
+        metrics.set_gauge(GAUGE_DONE, 0)
+        results: dict[int, Any] = {}
+        procs = self._procs
+        remaining = len(chunks)
+        while remaining:
+            kind, wid, *rest = self._get_result(procs)
+            if kind == "error":
+                idx, tb = rest
+                self.terminate()
+                raise ParallelError(
+                    f"worker {wid} failed on unit {idx}:\n{tb}",
+                    remote_traceback=tb)
+            if kind == "chunk":
+                pairs = rest[0]
+                for idx, value in pairs:
+                    results[idx] = value
+                done += len(pairs)
+                remaining -= 1
+                metrics.set_gauge(GAUGE_DONE, done)
+                obs.event("parallel.chunk_done", worker=wid,
+                          done=done, total=total, label=self.label)
+            elif kind == "done":  # pragma: no cover - early sentinel
+                _ingest_worker_flush(wid, *rest, t_offset=self._t_offset)
+        return [results[i] for i in range(total)]
+
+
+def run_sharded(worker_ref: str, payload: Any, units: Sequence[Any], *,
+                jobs: int | None = None, chunk_size: int | None = None,
+                start_method: str | None = None,
+                label: str = "parallel") -> list[Any]:
+    """Fan ``units`` out over a fresh warm pool; results in unit order.
+
+    ``worker_ref`` is a ``"module:attribute"`` path to a module-level
+    *factory*: ``factory(payload) -> (unit -> result)``.  The factory runs
+    once per worker (and once in-process for the ``jobs=1`` serial path);
+    its return value is the per-unit function.  Payload, units and results
+    must pickle; everything else is rebuilt worker-side by the factory.
+    """
+    units = list(units)
+    with metrics.phase(f"{label}.sharded"), \
+            obs.span(f"{label}.sharded", units=len(units),
+                     jobs=resolve_jobs(jobs)) as sp:
+        pool = WorkerPool(worker_ref, payload, jobs=jobs,
+                          start_method=start_method, label=label)
+        with pool:
+            out = pool.map(units, chunk_size=chunk_size)
+        if sp is not None:
+            sp.attrs["completed"] = len(out)
+    perf.merge({"sharded_runs": 1, "units": len(out)}, prefix="parallel.")
+    return out
+
+
+# ----------------------------------------------------------------------
+# First-answer racing (SAT portfolio support)
+# ----------------------------------------------------------------------
+
+def _race_main(idx: int, worker_ref: str, payload: Any,
+               result_q: Any) -> None:
+    try:
+        result = _resolve_ref(worker_ref)(payload)
+        result_q.put(("ok", idx, result))
+    except BaseException as exc:  # noqa: BLE001
+        result_q.put(("error", idx, _format_exc(exc)))
+
+
+def race(worker_ref: str, payloads: Sequence[Any], *,
+         jobs: int | None = None,
+         start_method: str | None = None) -> tuple[int, Any]:
+    """Race ``worker(payload_i)`` across processes; first answer wins.
+
+    Returns ``(winner_index, result)`` and terminates the losers
+    immediately — the SAT portfolio's cancel-on-first-answer semantics.
+    With ``jobs=1`` (or one payload) only ``payloads[0]`` runs, in-process:
+    the serial path is deterministic by construction.
+
+    Unlike :func:`run_sharded`, racers are short-lived dedicated processes
+    (not pool workers): cancelling a loser means killing it mid-solve,
+    which must never take a warm pool down with it.
+    """
+    payloads = list(payloads)
+    if not payloads:
+        raise ParallelError("race() needs at least one payload")
+    jobs = resolve_jobs(jobs)
+    if jobs <= 1 or len(payloads) == 1:
+        return 0, _resolve_ref(worker_ref)(payloads[0])
+
+    import multiprocessing as mp
+
+    ctx = mp.get_context(start_method or default_start_method())
+    result_q = ctx.Queue()
+    procs = []
+    for idx, payload in enumerate(payloads[:jobs]):
+        p = ctx.Process(target=_race_main,
+                        args=(idx, worker_ref, payload, result_q),
+                        daemon=True, name=f"repro-racer-{idx}")
+        p.start()
+        procs.append(p)
+    import queue as queue_mod
+
+    errors: list[str] = []
+    try:
+        while True:
+            try:
+                kind, idx, result = result_q.get(timeout=1.0)
+            except queue_mod.Empty:
+                if all(not p.is_alive() for p in procs):
+                    raise ParallelError(
+                        "every portfolio racer died without an answer:\n"
+                        + "\n".join(errors))
+                continue
+            if kind == "ok":
+                obs.event("parallel.race_won", winner=idx,
+                          contenders=len(procs))
+                perf.merge({"races": 1}, prefix="parallel.")
+                return idx, result
+            errors.append(result)
+            if len(errors) == len(procs):
+                raise ParallelError(
+                    "every portfolio racer failed:\n" + "\n".join(errors))
+    finally:
+        for p in procs:
+            if p.is_alive():
+                p.terminate()
+        for p in procs:
+            p.join(timeout=5.0)
+
+
+def iter_progress(total: int) -> Iterator[int]:  # pragma: no cover - helper
+    """Yield 0..total-1 while keeping the shard-progress gauges fresh (for
+    serial loops that want the same heartbeat progress as the pool)."""
+    metrics.set_gauge(GAUGE_TOTAL, total)
+    for i in range(total):
+        metrics.set_gauge(GAUGE_DONE, i)
+        yield i
+    metrics.set_gauge(GAUGE_DONE, total)

@@ -12,6 +12,8 @@ here, replacing the Z3 dependency of the original artifact.
 
 from __future__ import annotations
 
+import random
+from dataclasses import dataclass
 from typing import Iterable, Sequence
 
 from .. import metrics, obs
@@ -19,6 +21,43 @@ from .. import metrics, obs
 #: Emit a ``sat.progress`` timeline event every this many conflicts while
 #: tracing (see :mod:`repro.obs`); restarts are always emitted.
 _CONFLICT_SAMPLE = 512
+
+
+@dataclass(frozen=True)
+class SatConfig:
+    """Search-strategy knobs for one :class:`SatSolver` instance.
+
+    A *portfolio* races several solvers with different configs on the same
+    CNF (paper-adjacent: portfolio SAT is the standard way to parallelise
+    CDCL without sharing clauses).  Every config decides the same formula —
+    SAT/UNSAT answers agree across seeds; only the wall clock and, for SAT,
+    the particular model may differ.  The default config is the exact
+    strategy the serial solver has always used, so a one-entry portfolio is
+    bit-identical to a plain solve.
+
+    ``seed`` perturbs the *initial* VSIDS activities with tiny random
+    values (< 1e-6, far below the 1.0 bump quantum), diversifying the early
+    decision order without overriding learned activity.
+    """
+
+    restart_base: int = 100          # conflicts per Luby restart unit
+    var_decay: float = 0.95          # VSIDS activity decay factor
+    default_phase: bool = False      # initial saved phase for every variable
+    seed: int | None = None          # None: no activity jitter
+
+
+def portfolio_configs(n: int) -> list[SatConfig]:
+    """``n`` diversified configs; index 0 is always the default strategy
+    (so racing a 1-entry portfolio degenerates to the plain solve)."""
+    variants = [
+        SatConfig(),
+        SatConfig(restart_base=50, var_decay=0.90, default_phase=True, seed=1),
+        SatConfig(restart_base=400, var_decay=0.97, seed=2),
+        SatConfig(restart_base=100, var_decay=0.85, default_phase=True, seed=3),
+    ]
+    while len(variants) < n:
+        variants.append(SatConfig(seed=len(variants)))
+    return variants[:max(1, n)]
 
 
 class _VarHeap:
@@ -32,6 +71,10 @@ class _VarHeap:
         self.pos: list[int] = [-1] * (num_vars + 1)
         for i, v in enumerate(self.heap):
             self.pos[v] = i
+        # Establish the heap invariant: initial activities need not be
+        # uniform (portfolio seeds jitter them before construction).
+        for i in range(len(self.heap) // 2 - 1, -1, -1):
+            self._sift_down(i)
 
     def _sift_up(self, i: int) -> None:
         heap = self.heap
@@ -105,7 +148,10 @@ class _VarHeap:
 
 
 class SatSolver:
-    def __init__(self, num_vars: int, clauses: Iterable[Sequence[int]]) -> None:
+    def __init__(self, num_vars: int, clauses: Iterable[Sequence[int]],
+                 config: SatConfig | None = None) -> None:
+        if config is None:
+            config = SatConfig()
         self.num_vars = num_vars
         self.assign = [0] * (num_vars + 1)          # -1 / 0 / +1
         self.level = [0] * (num_vars + 1)
@@ -116,8 +162,15 @@ class SatSolver:
         self.watches: list[list[list[int]]] = [[] for _ in range(2 * (num_vars + 1))]
         self.activity = [0.0] * (num_vars + 1)
         self.var_inc = 1.0
-        self.var_decay = 1.0 / 0.95
-        self.phase = [False] * (num_vars + 1)
+        self.var_decay = 1.0 / config.var_decay
+        self.restart_base = config.restart_base
+        self.phase = [config.default_phase] * (num_vars + 1)
+        if config.seed is not None:
+            # Sub-quantum jitter: diversifies tie-breaking among untouched
+            # variables without outweighing a single real activity bump.
+            rng = random.Random(config.seed)
+            for v in range(1, num_vars + 1):
+                self.activity[v] = rng.random() * 1e-6
         self.order = _VarHeap(num_vars, self.activity)
         self.ok = True
         self.conflicts = 0
@@ -433,7 +486,7 @@ class SatSolver:
     def _solve_loop(self, max_conflicts: int | None) -> bool | None:
         restart_idx = 0
         while True:
-            budget = 100 * _luby(restart_idx)
+            budget = self.restart_base * _luby(restart_idx)
             restart_idx += 1
             result = self._search(budget, max_conflicts)
             if result is not None:
@@ -444,7 +497,8 @@ class SatSolver:
             if self._trace:
                 obs.event("sat.restart", restarts=self.restarts,
                           conflicts=self.conflicts, decisions=self.decisions,
-                          learnts=len(self.learnts), next_budget=100 * _luby(restart_idx))
+                          learnts=len(self.learnts),
+                          next_budget=self.restart_base * _luby(restart_idx))
             self._backjump(0)
 
     def _search(self, budget: int, max_conflicts: int | None) -> bool | None:

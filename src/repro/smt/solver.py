@@ -3,6 +3,13 @@
 Replaces the original artifact's Z3 dependency with a self-contained decision
 procedure for the quantifier-free boolean/bitvector fragment NV's encoding
 stays inside (paper §5.2 notes this fragment keeps the approach complete).
+
+``check(portfolio=k, jobs=n)`` races ``k`` diversified CDCL strategies
+(:func:`repro.smt.sat.portfolio_configs`) over a :func:`repro.parallel.race`
+— first answer wins, losers are cancelled.  SAT/UNSAT verdicts agree across
+strategies (they decide the same CNF), so the portfolio is
+verdict-deterministic; only wall clock and, for SAT, the particular model
+may differ.  ``portfolio=1`` (the default) is the bit-identical serial path.
 """
 
 from __future__ import annotations
@@ -10,11 +17,12 @@ from __future__ import annotations
 import sys
 from dataclasses import dataclass, field
 from time import perf_counter
+from typing import Any, Callable
 
-from .. import metrics, obs, perf
+from .. import metrics, obs, parallel, perf
 from .bitblast import BitBlaster
 from .cnf import Tseitin
-from .sat import SatSolver
+from .sat import SatSolver, portfolio_configs
 from .terms import TermManager
 
 
@@ -41,6 +49,42 @@ class SmtResult:
         return self.status == "unsat"
 
 
+def _tag_vars(cnf: Any) -> list[int]:
+    """Structural decision hint: branch on option tags (route present or
+    not) before route contents.  Tags drive the control flow of every
+    transfer/merge function, so deciding them first lets propagation fix
+    most payload bits — empirically 2-3x on the UNSAT reachability
+    instances."""
+    return [var for name, var in cnf.name_var.items() if ".tag" in name]
+
+
+def _hint_tags(solver: SatSolver, tag_vars: list[int]) -> None:
+    for var in tag_vars:
+        solver.activity[var] = 1.0
+        solver.order.increased(var)
+
+
+def _solver_stats(solver: SatSolver) -> dict[str, int]:
+    return {"conflicts": solver.conflicts, "decisions": solver.decisions,
+            "propagations": solver.propagations, "restarts": solver.restarts}
+
+
+def _portfolio_worker(payload: dict[str, Any]
+                      ) -> tuple[bool | None, list[int] | None, dict[str, int]]:
+    """One portfolio racer: solve the shared CNF under one strategy.
+
+    Returns ``(outcome, assignment-or-None, stats)``; the assignment is the
+    raw ``assign`` array so the parent can extract a model without shipping
+    the solver object across the process boundary.
+    """
+    solver = SatSolver(payload["num_vars"], payload["clauses"],
+                       config=payload["config"])
+    _hint_tags(solver, payload["tag_vars"])
+    outcome = solver.solve(payload["max_conflicts"])
+    assign = list(solver.assign) if outcome else None
+    return outcome, assign, _solver_stats(solver)
+
+
 class Solver:
     """One-shot solver over a :class:`TermManager`'s boolean terms."""
 
@@ -53,15 +97,25 @@ class Solver:
             raise ValueError("only boolean terms can be asserted")
         self.assertions.append(term)
 
-    def check(self, max_conflicts: int | None = None) -> SmtResult:
+    def check(self, max_conflicts: int | None = None,
+              portfolio: int = 1, jobs: int | None = None) -> SmtResult:
+        """Decide the conjunction of the asserted terms.
+
+        ``portfolio > 1`` races that many diversified CDCL strategies
+        (first answer wins, losers cancelled); ``jobs`` bounds the racer
+        processes (``None`` resolves ``NV_JOBS``/CPU count).  With
+        ``jobs=1`` or ``portfolio=1`` only the default strategy runs,
+        in-process — identical to the plain serial solve.
+        """
         old_limit = sys.getrecursionlimit()
         sys.setrecursionlimit(max(old_limit, 1_000_000))
         try:
-            return self._check(max_conflicts)
+            return self._check(max_conflicts, portfolio, jobs)
         finally:
             sys.setrecursionlimit(old_limit)
 
-    def _check(self, max_conflicts: int | None) -> SmtResult:
+    def _check(self, max_conflicts: int | None, portfolio: int = 1,
+               jobs: int | None = None) -> SmtResult:
         t0 = perf_counter()
         with metrics.phase("smt.bitblast"), \
              obs.span("smt.bitblast", assertions=len(self.assertions)) as sp:
@@ -74,27 +128,25 @@ class Solver:
                 sp.attrs.update(vars=cnf.num_vars, clauses=len(cnf.clauses))
         encode_seconds = perf_counter() - t0
 
+        tag_vars = _tag_vars(cnf)
         t0 = perf_counter()
         with metrics.phase("smt.solve"), \
-             obs.span("smt.solve", vars=cnf.num_vars,
+             obs.span("smt.solve", vars=cnf.num_vars, portfolio=portfolio,
                       clauses=len(cnf.clauses)) as sp:
-            solver = SatSolver(cnf.num_vars, cnf.clauses)
-            # Structural decision hint: branch on option tags (route present
-            # or not) before route contents.  Tags drive the control flow of
-            # every transfer/merge function, so deciding them first lets
-            # propagation fix most payload bits — empirically 2-3x on the
-            # UNSAT reachability instances.
-            for name, var in cnf.name_var.items():
-                if ".tag" in name:
-                    solver.activity[var] = 1.0
-                    solver.order.increased(var)
-            outcome = solver.solve(max_conflicts)
+            if portfolio > 1:
+                outcome, model_value, stats = self._solve_portfolio(
+                    cnf, tag_vars, max_conflicts, portfolio, jobs)
+            else:
+                solver = SatSolver(cnf.num_vars, cnf.clauses)
+                _hint_tags(solver, tag_vars)
+                outcome = solver.solve(max_conflicts)
+                model_value = solver.model_value
+                stats = _solver_stats(solver)
             if sp is not None:
                 sp.attrs.update(
                     status=("unknown" if outcome is None
                             else ("sat" if outcome else "unsat")),
-                    conflicts=solver.conflicts, decisions=solver.decisions,
-                    restarts=solver.restarts)
+                    **stats)
         solve_seconds = perf_counter() - t0
 
         result = SmtResult(
@@ -103,26 +155,23 @@ class Solver:
             num_clauses=len(cnf.clauses),
             encode_seconds=encode_seconds,
             solve_seconds=solve_seconds,
-            conflicts=solver.conflicts,
-            decisions=solver.decisions,
-            propagations=solver.propagations,
-            restarts=solver.restarts,
+            conflicts=stats["conflicts"],
+            decisions=stats["decisions"],
+            propagations=stats["propagations"],
+            restarts=stats["restarts"],
         )
         perf.merge({
             "checks": 1,
-            "conflicts": solver.conflicts,
-            "decisions": solver.decisions,
-            "propagations": solver.propagations,
-            "restarts": solver.restarts,
             "clauses": len(cnf.clauses),
             "encode_seconds": encode_seconds,
             "solve_seconds": solve_seconds,
+            **stats,
         }, prefix="sat.")
         if outcome:
             # Boolean term variables.
             for name, var in cnf.name_var.items():
                 if "#bit" not in name:
-                    result.model_bools[name] = solver.model_value(var)
+                    result.model_bools[name] = model_value(var)
             # Bitvector variables, reassembled from their blasted bits.
             for name, bits in blaster.var_bits.items():
                 value = 0
@@ -131,7 +180,35 @@ class Solver:
                     if lit is None:
                         bit = bool(self.tm.const_value(bit_term))
                     else:
-                        bit = solver.model_value(abs(lit)) ^ (lit < 0)
+                        bit = model_value(abs(lit)) ^ (lit < 0)
                     value = (value << 1) | (1 if bit else 0)
                 result.model_bvs[name] = value
         return result
+
+    @staticmethod
+    def _solve_portfolio(cnf: Any, tag_vars: list[int],
+                         max_conflicts: int | None, portfolio: int,
+                         jobs: int | None
+                         ) -> tuple[bool | None, Callable[[int], bool],
+                                    dict[str, int]]:
+        """Race diversified strategies on the shared CNF; first answer wins.
+
+        The winner's stats become the result's stats (they are the work the
+        answer actually cost); losers' work is cancelled and uncounted.
+        """
+        configs = portfolio_configs(portfolio)
+        payloads = [{"num_vars": cnf.num_vars, "clauses": cnf.clauses,
+                     "tag_vars": tag_vars, "config": config,
+                     "max_conflicts": max_conflicts}
+                    for config in configs]
+        winner, (outcome, assign, stats) = parallel.race(
+            "repro.smt.solver:_portfolio_worker", payloads, jobs=jobs)
+        perf.merge({"portfolio_races": 1, "portfolio_size": len(payloads)},
+                   prefix="sat.")
+        obs.event("sat.portfolio", winner=winner, size=len(payloads),
+                  config=repr(configs[winner]))
+
+        def model_value(var: int) -> bool:
+            return assign is not None and assign[var] == 1
+
+        return outcome, model_value, stats

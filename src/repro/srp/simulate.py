@@ -70,39 +70,31 @@ def simulate(funcs: NetworkFunctions, max_iterations: int | None = None,
     merge = funcs.merge
 
     # ------------------------------------------------------------------
-    # Memoisation layer: interned routes, per-edge trans memo, per-node
-    # merge memo.  All keys are interned values, so dict probes resolve on
-    # identity for repeated routes.
+    # Memoisation layer: interned routes plus a per-node merge memo.  All
+    # keys are interned values, so dict probes resolve on identity for
+    # repeated routes.
+    #
+    # There is deliberately *no* per-edge trans memo: the skipped-activation
+    # check below already guarantees a node only re-pushes when its interned
+    # label *changed*, so ``trans(edge, attr)`` is never called twice with
+    # the same attribute on the same edge unless a label oscillates back to
+    # an earlier value — which monotone route algebras never do.  PR 1
+    # shipped such a memo anyway; ``sim.trans_cache_hit_rate`` measured 0.0
+    # on every benchmark (BENCH_pr1.json fig13b counters), so it was pure
+    # overhead (a dict probe + insert per message) and was removed.
     # ------------------------------------------------------------------
     stats = {
         "activations": 0, "messages": 0, "skipped_activations": 0,
-        "trans_cache_hits": 0, "trans_cache_misses": 0,
         "merge_cache_hits": 0, "merge_cache_misses": 0,
     }
     if memoize:
         interner = ValueInterner()
         intern = interner.intern
-        # trans memo: edge -> {attr: route}.
-        trans_memo: dict[tuple[int, int], dict[Any, Any]] = {}
         # merge memo: node -> {(a, b): route}.
         merge_memo: list[dict[Any, Any]] = [{} for _ in range(n)]
 
         def trans_m(edge: tuple[int, int], attr: Any) -> Any:
-            memo = trans_memo.get(edge)
-            if memo is None:
-                memo = trans_memo[edge] = {}
-            try:
-                cached = memo.get(attr, _NEVER)
-            except TypeError:    # unhashable attribute: cannot memoise
-                stats["trans_cache_misses"] += 1
-                return intern(trans(edge, attr))
-            if cached is not _NEVER:
-                stats["trans_cache_hits"] += 1
-                return cached
-            stats["trans_cache_misses"] += 1
-            route = intern(trans(edge, attr))
-            memo[attr] = route
-            return route
+            return intern(trans(edge, attr))
 
         def merge_m(v: int, a: Any, b: Any) -> Any:
             memo = merge_memo[v]

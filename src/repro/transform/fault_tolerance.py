@@ -94,6 +94,33 @@ def _scenario_fails_edge(scenario: A.Expr, key_ty: T.Type, edge_var: str,
     return _or_all(parts)
 
 
+def _scenario_in_batch(scenario: A.Expr, key_ty: T.Type,
+                       link_batch: tuple[tuple[int, int], ...],
+                       node_failures: bool) -> A.Expr:
+    """AST for "this scenario belongs to the given link batch".
+
+    Batch membership is decided by the scenario's *first edge component*
+    (component 0, or component 1 when a failed node leads the tuple): the
+    scenario is in the batch iff that edge is one of the batch's physical
+    links, in either orientation.  Partitioning the links therefore
+    partitions the scenario space exactly — the property the sharded
+    fault driver's per-batch class counting relies on.
+    """
+    if isinstance(key_ty, T.TEdge):
+        comp: A.Expr = scenario
+    else:
+        assert isinstance(key_ty, T.TTuple)
+        index = 1 if node_failures else 0
+        comp = A.ETupleGet(scenario, index, len(key_ty.elts))
+    parts: list[A.Expr] = []
+    for u, v in link_batch:
+        parts.append(_eq(comp, A.EEdge(u, v)))
+        parts.append(_eq(comp, A.EEdge(v, u)))
+    if not parts:
+        return A.EBool(False)
+    return _or_all(parts)
+
+
 def _node_hits_edge(failed_node: A.Expr, edge_var: str) -> A.Expr:
     """``let (u, v) = e in n = u || n = v`` as an AST."""
     return A.ELetPat(
@@ -106,7 +133,9 @@ def _node_hits_edge(failed_node: A.Expr, edge_var: str) -> A.Expr:
 
 def fault_tolerance_transform(net: Network, num_link_failures: int = 1,
                               node_failures: bool = False,
-                              drop_body: A.Expr | None = None) -> Network:
+                              drop_body: A.Expr | None = None,
+                              link_batch: tuple[tuple[int, int], ...] | None = None
+                              ) -> Network:
     """Apply the fig 5 meta-protocol to a network program.
 
     The returned network's attribute type is ``dict[scenario, α]``; its
@@ -118,6 +147,14 @@ def fault_tolerance_transform(net: Network, num_link_failures: int = 1,
     option-typed attributes; non-option attributes (e.g. the RIB maps of
     config-translated networks) must supply their own — the generalisation
     the paper's fig 5 caption calls out.
+
+    ``link_batch`` restricts the meta-protocol to the scenarios whose first
+    failed link is one of the given physical links: the transfer predicate
+    becomes ``in_batch(sc) && fails(sc, e)``, so out-of-batch scenarios
+    never drop a route and all collapse onto the no-failure leaves.  Routes
+    of *in-batch* scenarios are exactly those of the unrestricted
+    transform.  This is the decomposition :func:`repro.analysis.fault.
+    fault_tolerance_sharded` fans out over worker processes.
     """
     if num_link_failures < 0 or (num_link_failures == 0 and not node_failures):
         raise ValueError("at least one link or node failure is required")
@@ -149,9 +186,14 @@ def fault_tolerance_transform(net: Network, num_link_failures: int = 1,
     ))
 
     # let trans e x = mapIte (fun sc -> fails sc e) (fun v -> drop) (transBase e) x
-    pred = A.EFun("__sc", _scenario_fails_edge(
-        _var("__sc"), key_ty, "e", num_link_failures, node_failures),
-        param_ty=key_ty)
+    fails = _scenario_fails_edge(
+        _var("__sc"), key_ty, "e", num_link_failures, node_failures)
+    if link_batch is not None:
+        fails = A.EOp("and", (
+            _scenario_in_batch(_var("__sc"), key_ty, tuple(link_batch),
+                               node_failures),
+            fails))
+    pred = A.EFun("__sc", fails, param_ty=key_ty)
     drop_fn = A.EFun("__v", drop_body)
     trans_body = A.EOp("mmapite", (
         pred, drop_fn, A.EApp(_var("transBase"), _var("e")), _var("x")))

@@ -1,0 +1,47 @@
+"""Worker factories for :mod:`tests.test_parallel`.
+
+They live in a real module (not a test file) so :func:`repro.parallel`
+workers can resolve them by ``"module:attr"`` reference in spawned
+processes as well as forked ones.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any
+
+from repro import perf
+
+
+def make_square(payload: dict[str, Any]):
+    offset = payload.get("offset", 0)
+
+    def run(i: int) -> int:
+        perf.merge({"units": 1}, prefix="testpool.")
+        return (i + offset) * (i + offset)
+
+    return run
+
+
+def make_failing(payload: dict[str, Any]):
+    bad = payload["bad_unit"]
+
+    def run(i: int) -> int:
+        if i == bad:
+            raise ValueError(f"unit {i} exploded")
+        return i
+
+    return run
+
+
+def racer(payload: dict[str, Any]) -> str:
+    """A race contender: sleeps ``delay`` seconds, then answers."""
+    time.sleep(payload.get("delay", 0.0))
+    return payload["answer"]
+
+
+def crashing_racer(payload: dict[str, Any]) -> str:
+    if payload.get("crash", False):
+        raise RuntimeError("racer crashed")
+    time.sleep(payload.get("delay", 0.0))
+    return payload["answer"]

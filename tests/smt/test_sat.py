@@ -1,12 +1,12 @@
 """SAT solver tests: crafted instances and random CNF cross-checked against
-brute force."""
+brute force, plus restart/clause-DB machinery and portfolio strategies."""
 
 import itertools
 
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.smt.sat import SatSolver, _luby
+from repro.smt.sat import SatConfig, SatSolver, _luby, portfolio_configs
 
 
 class TestCraftedInstances:
@@ -101,3 +101,133 @@ def test_random_cnf_matches_brute_force(clauses):
 
 def test_luby_sequence():
     assert [_luby(i) for i in range(10)] == [1, 1, 2, 1, 1, 2, 4, 1, 1, 2]
+
+
+# ----------------------------------------------------------------------
+# Restart and learnt-clause-database machinery
+# ----------------------------------------------------------------------
+
+def pigeonhole(holes):
+    """PHP(holes+1, holes): unsat, forces real conflict-driven search."""
+    pigeons = holes + 1
+    clauses = []
+    def var(i, j):
+        return i * holes + j + 1
+    for i in range(pigeons):
+        clauses.append(tuple(var(i, j) for j in range(holes)))
+    for j in range(holes):
+        for i1 in range(pigeons):
+            for i2 in range(i1 + 1, pigeons):
+                clauses.append((-var(i1, j), -var(i2, j)))
+    return pigeons * holes, clauses
+
+
+class TestRestartsAndReduceDb:
+    def test_aggressive_restarts_still_unsat(self):
+        num_vars, clauses = pigeonhole(4)
+        s = SatSolver(num_vars, clauses, config=SatConfig(restart_base=1))
+        assert s.solve() is False
+        # A unit restart base forces restarts well before UNSAT is proved.
+        assert s.restarts > 0
+
+    def test_restart_base_respected(self):
+        num_vars, clauses = pigeonhole(4)
+        fast = SatSolver(num_vars, clauses, config=SatConfig(restart_base=1))
+        slow = SatSolver(num_vars, clauses,
+                         config=SatConfig(restart_base=10_000))
+        assert fast.solve() is False and slow.solve() is False
+        # The huge base never exhausts its first Luby budget.
+        assert slow.restarts == 0
+        assert fast.restarts > slow.restarts
+
+    def test_reduce_db_drops_high_lbd_half(self):
+        s = SatSolver(6, [])
+        # Hand-plant learnt clauses with known LBD ("glue") values.
+        for glue in (3, 4, 5, 6, 7, 8):
+            clause = [1, 2]
+            s.learnts.append(clause)
+            s.num_attached += 1
+            s.lbd[id(clause)] = glue
+        before = len(s.learnts)
+        s._reduce_db()
+        # Worst half (highest LBD) deleted; survivors keep their LBD entry.
+        assert len(s.learnts) == before - 3
+        assert sorted(s.lbd[id(c)] for c in s.learnts) == [3, 4, 5]
+
+    def test_reduce_db_keeps_glue_and_locked_clauses(self):
+        s = SatSolver(8, [])
+        glue = [1, 2]          # LBD <= 2: never deleted
+        locked = [3, 4]        # reason for an assignment: never deleted
+        junk = [[5, 6], [6, 7], [7, 8], [5, 8]]
+        for clause, l in [(glue, 2), (locked, 9)] + [(c, 9) for c in junk]:
+            s.learnts.append(clause)
+            s.num_attached += 1
+            s.lbd[id(clause)] = l
+        s.reason[3] = locked
+        s._reduce_db()
+        assert glue in s.learnts and locked in s.learnts
+
+    def test_reduce_db_under_pressure_preserves_verdict(self):
+        num_vars, clauses = pigeonhole(4)
+        s = SatSolver(num_vars, clauses)
+        s.max_learnts = 8      # force frequent database reductions
+        assert s.solve() is False
+
+
+# ----------------------------------------------------------------------
+# Portfolio configurations
+# ----------------------------------------------------------------------
+
+class TestPortfolioConfigs:
+    def test_first_config_is_default(self):
+        assert portfolio_configs(1) == [SatConfig()]
+        assert portfolio_configs(4)[0] == SatConfig()
+
+    def test_requested_size(self):
+        for n in (1, 2, 4, 7):
+            configs = portfolio_configs(n)
+            assert len(configs) == n
+            assert len(set(configs)) == n  # all distinct
+
+    def test_configs_agree_on_crafted_instances(self):
+        num_vars, clauses = pigeonhole(3)
+        for config in portfolio_configs(4):
+            assert SatSolver(num_vars, clauses, config=config).solve() is False
+        sat_clauses = [(1, 2), (-1, -2), (2, 3), (-2, -3)]
+        for config in portfolio_configs(4):
+            s = SatSolver(3, sat_clauses, config=config)
+            assert s.solve() is True
+            a, b, c = (s.model_value(v) for v in (1, 2, 3))
+            assert (a ^ b) and (b ^ c)
+
+    def test_seed_jitter_changes_initial_order_not_verdict(self):
+        # With jitter the initial decision order differs, but the heap
+        # invariant must hold and the verdict must not change.
+        num_vars, clauses = pigeonhole(3)
+        s = SatSolver(num_vars, clauses, config=SatConfig(seed=42))
+        heap, act = s.order.heap, s.activity
+        for i in range(len(heap)):
+            for child in (2 * i + 1, 2 * i + 2):
+                if child < len(heap):
+                    assert act[heap[i]] >= act[heap[child]]
+        assert s.solve() is False
+
+
+@given(st.lists(
+    st.lists(st.sampled_from([1, -1, 2, -2, 3, -3, 4, -4, 5, -5]),
+             min_size=1, max_size=3).map(tuple),
+    max_size=12))
+@settings(max_examples=40, deadline=None)
+def test_portfolio_verdict_deterministic(clauses):
+    """Every portfolio strategy decides the same formula: SAT/UNSAT verdicts
+    agree with brute force across all configs; every SAT model satisfies
+    the clauses (models themselves may differ between strategies)."""
+    expected = brute_force(5, clauses)
+    for config in portfolio_configs(4):
+        solver = SatSolver(5, clauses, config=config)
+        got = solver.solve()
+        assert got == expected
+        if got:
+            for clause in clauses:
+                assert any(solver.model_value(abs(l)) == (l > 0)
+                           for l in clause)

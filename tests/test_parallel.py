@@ -1,0 +1,115 @@
+"""Tests for the :mod:`repro.parallel` process-pool subsystem: job
+resolution, chunking, serial/parallel equivalence of the pool itself, error
+propagation, worker counter aggregation, and the first-answer-wins race."""
+
+import pytest
+
+from repro import parallel, perf
+
+SQUARE = "tests.parallel_factories:make_square"
+FAILING = "tests.parallel_factories:make_failing"
+RACER = "tests.parallel_factories:racer"
+CRASHER = "tests.parallel_factories:crashing_racer"
+
+
+class TestResolveJobs:
+    def test_explicit_wins(self, monkeypatch):
+        monkeypatch.setenv("NV_JOBS", "7")
+        assert parallel.resolve_jobs(3) == 3
+
+    def test_env_fallback(self, monkeypatch):
+        monkeypatch.setenv("NV_JOBS", "5")
+        assert parallel.resolve_jobs(None) == 5
+
+    def test_cpu_capped_default(self, monkeypatch):
+        monkeypatch.delenv("NV_JOBS", raising=False)
+        assert 1 <= parallel.resolve_jobs(None) <= parallel.MAX_DEFAULT_JOBS
+
+    def test_floor_is_one(self, monkeypatch):
+        monkeypatch.delenv("NV_JOBS", raising=False)
+        assert parallel.resolve_jobs(0) == 1
+        assert parallel.resolve_jobs(-3) == 1
+
+
+class TestChunking:
+    def test_covers_all_units_in_order(self):
+        for total in (0, 1, 5, 17, 100):
+            for jobs in (1, 2, 4):
+                chunks = parallel.chunk_units(total, jobs)
+                flat = [i for chunk in chunks for i in chunk]
+                assert flat == list(range(total))
+
+    def test_explicit_chunk_size(self):
+        chunks = parallel.chunk_units(10, 2, chunk_size=3)
+        assert [len(c) for c in chunks] == [3, 3, 3, 1]
+
+
+class TestRunSharded:
+    def test_serial_path(self):
+        out = parallel.run_sharded(SQUARE, {}, range(6), jobs=1)
+        assert out == [i * i for i in range(6)]
+
+    def test_parallel_matches_serial(self):
+        serial = parallel.run_sharded(SQUARE, {"offset": 2}, range(13), jobs=1)
+        fanned = parallel.run_sharded(SQUARE, {"offset": 2}, range(13), jobs=2)
+        assert fanned == serial
+
+    def test_generator_units(self):
+        out = parallel.run_sharded(SQUARE, {}, (i for i in range(5)), jobs=2)
+        assert out == [i * i for i in range(5)]
+
+    def test_worker_error_propagates(self):
+        with pytest.raises(parallel.ParallelError) as exc:
+            parallel.run_sharded(FAILING, {"bad_unit": 3}, range(6), jobs=2)
+        assert "unit 3 exploded" in str(exc.value)
+
+    def test_serial_error_propagates(self):
+        with pytest.raises(ValueError):
+            parallel.run_sharded(FAILING, {"bad_unit": 1}, range(3), jobs=1)
+
+    def test_worker_counters_aggregate(self):
+        perf.reset()
+        perf.enable()
+        try:
+            parallel.run_sharded(SQUARE, {}, range(8), jobs=2)
+            snap = perf.snapshot()
+        finally:
+            perf.disable()
+            perf.reset()
+        # Every unit increments testpool.units inside a worker; the pool
+        # flushes worker counters back to the parent on shutdown.
+        assert snap.get("testpool.units") == 8
+        assert snap.get("parallel.sharded_runs") == 1
+        assert snap.get("parallel.units") == 8
+
+
+class TestRace:
+    def test_serial_race_runs_first_payload(self):
+        winner, result = parallel.race(
+            RACER, [{"answer": "a"}, {"answer": "b"}], jobs=1)
+        assert (winner, result) == (0, "a")
+
+    def test_fast_racer_wins(self):
+        winner, result = parallel.race(
+            RACER,
+            [{"answer": "slow", "delay": 30.0}, {"answer": "fast"}],
+            jobs=2)
+        assert (winner, result) == (1, "fast")
+
+    def test_survivor_wins_despite_crash(self):
+        winner, result = parallel.race(
+            CRASHER,
+            [{"crash": True, "answer": "x"},
+             {"answer": "ok", "delay": 0.2}],
+            jobs=2)
+        assert (winner, result) == (1, "ok")
+
+    def test_all_crash_raises(self):
+        with pytest.raises(parallel.ParallelError):
+            parallel.race(CRASHER,
+                          [{"crash": True, "answer": "x"},
+                           {"crash": True, "answer": "y"}], jobs=2)
+
+    def test_empty_payloads_rejected(self):
+        with pytest.raises(parallel.ParallelError):
+            parallel.race(RACER, [], jobs=2)

@@ -137,7 +137,7 @@ class TestComponentFlushes:
         simulate(funcs)
         snap = perf.snapshot()
         assert snap["sim.activations"] > 0
-        assert "sim.trans_cache_misses" in snap
+        assert "sim.merge_cache_misses" in snap
 
     def test_simulator_silent_when_disabled(self):
         from repro.srp.network import NetworkFunctions
