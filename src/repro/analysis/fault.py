@@ -484,3 +484,158 @@ def naive_fault_tolerance(net: Network,
         {"net": net, "symbolics": symbolics}, units,
         jobs=jobs, start_method=start_method, label="fault.naive")
     return (not any(violations)), len(units)
+
+
+# ----------------------------------------------------------------------
+# SMT fault tolerance: per-scenario assumption queries (fig 13a's encoding)
+# ----------------------------------------------------------------------
+
+@dataclass
+class SmtScenarioResult:
+    """Verdict for one concrete failure scenario."""
+
+    failed_links: tuple[tuple[int, int], ...]
+    status: str                       # "verified" | "counterexample" | "unknown"
+    node_attrs: dict[int, Any] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "verified"
+
+
+@dataclass
+class SmtFaultReport:
+    """Per-scenario SMT fault-tolerance verdicts (cf. :class:`FaultReport`,
+    which derives equivalence classes from one MTBDD simulation)."""
+
+    num_link_failures: int
+    scenarios: list[SmtScenarioResult]
+    encode_seconds: float
+    solve_seconds: float
+    incremental: bool
+
+    @property
+    def violations(self) -> int:
+        return sum(1 for s in self.scenarios if s.status == "counterexample")
+
+    @property
+    def fault_tolerant(self) -> bool:
+        return all(s.ok for s in self.scenarios)
+
+    def summary(self) -> str:
+        status = ("FAULT TOLERANT" if self.fault_tolerant
+                  else f"{self.violations} violating scenarios")
+        mode = "incremental" if self.incremental else "fresh"
+        return (f"{self.num_link_failures}-link failures over "
+                f"{len(self.scenarios)} scenarios ({mode} SMT): {status}; "
+                f"encode {self.encode_seconds:.3f}s, "
+                f"solve {self.solve_seconds:.3f}s")
+
+
+def _failure_scenarios(num_links: int, max_failures: int
+                       ) -> list[tuple[int, ...]]:
+    """All link-failure scenarios up to ``max_failures`` simultaneous
+    failures, starting with the no-failure scenario, in deterministic
+    order."""
+    import itertools as _it
+
+    out: list[tuple[int, ...]] = [()]
+    for r in range(1, max_failures + 1):
+        out.extend(_it.combinations(range(num_links), r))
+    return out
+
+
+def fault_tolerance_smt(net: Network, num_link_failures: int = 1,
+                        incremental: bool = True, simplify: bool = True,
+                        max_conflicts: int | None = None,
+                        portfolio: int = 1, jobs: int | None = None
+                        ) -> SmtFaultReport:
+    """Check the assertion for every concrete failure scenario via SMT.
+
+    The network is rewritten with one symbolic boolean per physical link
+    (:func:`repro.transform.fault_tolerance.symbolic_failures_program`) and
+    the stable-state system plus negated property are encoded **once**;
+    each scenario is then a conjunction of assumption literals fixing every
+    ``fail{i}`` bit, flipped per query on a persistent incremental solver —
+    the shared encoding, preprocessing and learnt clauses amortise across
+    the whole scenario batch.  ``incremental=False`` runs the historical
+    one-fresh-solver-per-scenario loop instead (the equivalence gate pins
+    both modes to identical verdicts).
+    """
+    from ..transform.fault_tolerance import symbolic_failures_program
+    from ..smt.solver import Solver
+    from ..smt.terms import TermManager
+    from .verify import decode_tval, encode_network
+
+    links = net.links if net.links else tuple(net.edges)
+    scenarios = _failure_scenarios(len(links), num_link_failures)
+    prog = symbolic_failures_program(net, max_failures=num_link_failures)
+    sym_net = Network.from_program(prog)
+
+    def scenario_term(tm: Any, enc: Any, failed: tuple[int, ...]) -> int:
+        term = tm.true
+        for i in range(len(links)):
+            _, tval = enc.symbolic_vals[f"fail{i}"]
+            bit = tval.term
+            term = tm.mk_and(term, bit if i in failed else tm.mk_not(bit))
+        return term
+
+    def scenario_result(enc: Any, smt: Any, failed: tuple[int, ...]
+                        ) -> SmtScenarioResult:
+        failed_links = tuple(links[i] for i in failed)
+        if smt.is_unsat:
+            return SmtScenarioResult(failed_links, "verified")
+        if smt.status == "unknown":
+            return SmtScenarioResult(failed_links, "unknown")
+        assignment: dict[str, Any] = {}
+        assignment.update(smt.model_bools)
+        assignment.update(smt.model_bvs)
+        attrs = {u: decode_tval(enc, tval, sym_net.attr_ty, assignment)
+                 for u, tval in enc.attr_vals.items()}
+        return SmtScenarioResult(failed_links, "counterexample", attrs)
+
+    results: list[SmtScenarioResult] = []
+    if incremental:
+        t0 = perf_counter()
+        with metrics.phase("smt.encode"), \
+             obs.span("fault.smt_encode", scenarios=len(scenarios),
+                      incremental=True):
+            tm = TermManager(simplify=simplify)
+            solver = Solver(tm, incremental=True)
+            enc, _, prop = encode_network(sym_net, simplify=simplify, tm=tm)
+            for c in enc.constraints:
+                solver.add(c)
+            solver.add(tm.mk_not(prop))
+            terms = [scenario_term(tm, enc, failed) for failed in scenarios]
+            # Register all selectors before the first solve so CNF
+            # preprocessing freezes them (no later melting needed).
+            for term in terms:
+                solver.push_assumption(term)
+            solver.relax()
+        encode_seconds = perf_counter() - t0
+
+        t0 = perf_counter()
+        for failed, term in zip(scenarios, terms):
+            solver.push_assumption(term)
+            smt = solver.check(max_conflicts, portfolio=portfolio, jobs=jobs)
+            solver.relax()
+            results.append(scenario_result(enc, smt, failed))
+        solve_seconds = perf_counter() - t0
+    else:
+        encode_seconds = 0.0
+        t0 = perf_counter()
+        for failed in scenarios:
+            tm = TermManager(simplify=simplify)
+            solver = Solver(tm)
+            enc, _, prop = encode_network(sym_net, simplify=simplify, tm=tm)
+            for c in enc.constraints:
+                solver.add(c)
+            solver.add(tm.mk_not(prop))
+            solver.add(scenario_term(tm, enc, failed))
+            smt = solver.check(max_conflicts, portfolio=portfolio, jobs=jobs)
+            results.append(scenario_result(enc, smt, failed))
+        solve_seconds = perf_counter() - t0
+
+    perf.merge({"smt_scenarios": len(scenarios)}, prefix="fault.")
+    return SmtFaultReport(num_link_failures, results, encode_seconds,
+                          solve_seconds, incremental)

@@ -48,12 +48,16 @@ class DecodedMap:
         return self.default
 
 
-def encode_network(net: Network, simplify: bool = True
+def encode_network(net: Network, simplify: bool = True, tm: Any = None
                    ) -> tuple[NvSmtEncoder, TermEvaluator, int]:
     """Encode the stable-state semantics of ``net``; returns the encoder, the
     evaluator and the boolean term for the property P (conjunction of the
-    assertion over all nodes)."""
-    enc = NvSmtEncoder(net, simplify=simplify)
+    assertion over all nodes).
+
+    ``tm`` (optional) encodes into a shared :class:`TermManager`: queries
+    over the same topology then hash-cons their common structure — the
+    incremental path's shared network encoding."""
+    enc = NvSmtEncoder(net, simplify=simplify, tm=tm)
     ev = TermEvaluator(enc)
     tm = enc.tm
     enc.collect_map_keys()
@@ -128,6 +132,13 @@ def verify(net: Network, simplify: bool = True,
     encode_seconds = perf_counter() - t0
 
     smt = solver.check(max_conflicts, portfolio=portfolio, jobs=jobs)
+    return _result_from_smt(net, enc, smt, encode_seconds)
+
+
+def _result_from_smt(net: Network, enc: NvSmtEncoder, smt: Any,
+                     encode_seconds: float) -> VerificationResult:
+    """Interpret an :class:`SmtResult` for one query, decoding the model
+    into an NV counterexample when SAT."""
     if smt.is_unsat:
         return VerificationResult(True, "verified", smt, encode_seconds)
     if smt.status == "unknown":
@@ -212,17 +223,98 @@ def _verify_shard_factory(payload: dict[str, Any]):
 def verify_many(nets: Sequence[Network], simplify: bool = True,
                 max_conflicts: int | None = None,
                 jobs: int | None = 1,
-                start_method: str | None = None) -> list[VerificationResult]:
-    """Verify several networks (one SMT query per destination prefix),
-    sharded over a :mod:`repro.parallel` worker pool.
+                start_method: str | None = None,
+                incremental: bool = False,
+                portfolio: int = 1) -> list[VerificationResult]:
+    """Verify several networks (one SMT query per destination prefix).
 
-    Results come back in input order.  Queries are independent, so the
-    verdicts are identical to running :func:`verify` in a serial loop;
-    ``jobs=1`` literally is that loop (same code path, in-process).
+    Two execution strategies:
+
+    * **Fresh** (default): queries are independent solver runs, sharded
+      over a :mod:`repro.parallel` worker pool.  Results come back in
+      input order; verdicts are identical to a serial :func:`verify`
+      loop, and ``jobs=1`` literally is that loop (same code path,
+      in-process — the property the parallel-equivalence gate pins).
+    * **Incremental** (``incremental=True``): all queries are encoded
+      into one shared term manager and decided by a single persistent
+      solver, each query attached via an assumption selector
+      (:func:`verify_many_incremental`).  Verdicts are identical to
+      fresh mode (the incremental-equivalence gate pins this); the
+      marginal query rides on the shared encoding, preprocessing and
+      learnt clauses.  ``jobs``/``start_method`` are ignored except for
+      ``portfolio`` racing inside each check.
     """
+    if incremental:
+        return verify_many_incremental(
+            nets, simplify=simplify, max_conflicts=max_conflicts,
+            portfolio=portfolio, jobs=jobs)
     payload = {"nets": list(nets), "simplify": simplify,
                "max_conflicts": max_conflicts}
     return parallel.run_sharded(
         "repro.analysis.verify:_verify_shard_factory", payload,
         range(len(payload["nets"])), jobs=jobs, start_method=start_method,
         label="verify")
+
+
+def verify_many_incremental(nets: Sequence[Network], simplify: bool = True,
+                            max_conflicts: int | None = None,
+                            portfolio: int = 1, jobs: int | None = None
+                            ) -> list[VerificationResult]:
+    """Verify a batch of related queries over one shared encoding.
+
+    The networks (typically: same topology, one per destination prefix)
+    are all encoded into a single :class:`TermManager` — identical
+    transfer/merge structure over the shared ``attr.{u}`` variables
+    hash-conses to the same terms, so the CNF grows by only a small
+    per-query delta.  Each query ``i``'s constraint system
+    ``require_i ∧ stable_i ∧ ¬P_i`` is attached through an assumption
+    selector (positive-polarity Tseitin: the selector implies the query,
+    and constrains nothing while relaxed), and one persistent CDCL solver
+    decides every query, keeping learnt clauses, VSIDS activities and
+    saved phases across the batch.
+
+    All selectors are registered *before* the first solve so CNF
+    preprocessing freezes them; verdicts and counterexample semantics are
+    identical to fresh-mode :func:`verify` per query.
+    """
+    from ..smt.terms import TermManager
+
+    nets = list(nets)
+    if not nets:
+        return []
+    tm = TermManager(simplify=simplify)
+    solver = Solver(tm, incremental=True)
+
+    queries: list[tuple[Network, NvSmtEncoder, int]] = []
+    t0 = perf_counter()
+    with metrics.phase("smt.encode"), \
+         obs.span("smt.encode_batch", queries=len(nets),
+                  incremental=True) as sp:
+        for net in nets:
+            enc, _, prop = encode_network(net, simplify=simplify, tm=tm)
+            query = tm.mk_not(prop)
+            for c in enc.constraints:
+                query = tm.mk_and(query, c)
+            queries.append((net, enc, query))
+        # Register every selector before the first solve: preprocessing
+        # freezes assumption variables, so later queries need no melting.
+        for _, _, query in queries:
+            solver.push_assumption(query)
+        solver.relax()
+        if sp is not None:
+            sp.attrs["terms"] = len(tm._terms) if hasattr(tm, "_terms") else 0
+    encode_seconds = perf_counter() - t0
+
+    results: list[VerificationResult] = []
+    for i, (net, enc, query) in enumerate(queries):
+        t0 = perf_counter()
+        solver.push_assumption(query)
+        smt = solver.check(max_conflicts, portfolio=portfolio, jobs=jobs)
+        solver.relax()
+        per_query = perf_counter() - t0
+        obs.event("verify.incremental_query", index=i,
+                  status=smt.status, seconds=round(per_query, 6),
+                  marginal_clauses=smt.stats.get("inc.marginal_clauses", 0))
+        results.append(_result_from_smt(
+            net, enc, smt, encode_seconds if i == 0 else 0.0))
+    return results

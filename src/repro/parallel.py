@@ -403,10 +403,22 @@ def run_sharded(worker_ref: str, payload: Any, units: Sequence[Any], *,
 # First-answer racing (SAT portfolio support)
 # ----------------------------------------------------------------------
 
+class _NoCommon:
+    """Sentinel: :func:`race` called without a shared payload — workers
+    keep their historical one-argument signature.  A class (not an
+    instance) so identity survives pickling under the spawn start
+    method."""
+
+
+_NO_COMMON = _NoCommon
+
+
 def _race_main(idx: int, worker_ref: str, payload: Any,
-               result_q: Any) -> None:
+               result_q: Any, common: Any = _NO_COMMON) -> None:
     try:
-        result = _resolve_ref(worker_ref)(payload)
+        fn = _resolve_ref(worker_ref)
+        result = (fn(payload) if common is _NO_COMMON
+                  else fn(payload, common))
         result_q.put(("ok", idx, result))
     except BaseException as exc:  # noqa: BLE001
         result_q.put(("error", idx, _format_exc(exc)))
@@ -414,13 +426,22 @@ def _race_main(idx: int, worker_ref: str, payload: Any,
 
 def race(worker_ref: str, payloads: Sequence[Any], *,
          jobs: int | None = None,
-         start_method: str | None = None) -> tuple[int, Any]:
+         start_method: str | None = None,
+         common: Any = _NO_COMMON) -> tuple[int, Any]:
     """Race ``worker(payload_i)`` across processes; first answer wins.
 
     Returns ``(winner_index, result)`` and terminates the losers
     immediately — the SAT portfolio's cancel-on-first-answer semantics.
     With ``jobs=1`` (or one payload) only ``payloads[0]`` runs, in-process:
     the serial path is deterministic by construction.
+
+    ``common`` (optional) is a racer-independent payload shared by every
+    contender, passed as the worker's second positional argument.  Put the
+    bulk of the instance there (e.g. a large clause database raced under
+    per-racer strategy configs): under the default ``fork`` start method
+    it reaches children by copy-on-write inheritance rather than being
+    serialised per racer — this is what keeps portfolio racing cheap to
+    launch on top of an incrementally accumulated encoding.
 
     Unlike :func:`run_sharded`, racers are short-lived dedicated processes
     (not pool workers): cancelling a loser means killing it mid-solve,
@@ -431,7 +452,9 @@ def race(worker_ref: str, payloads: Sequence[Any], *,
         raise ParallelError("race() needs at least one payload")
     jobs = resolve_jobs(jobs)
     if jobs <= 1 or len(payloads) == 1:
-        return 0, _resolve_ref(worker_ref)(payloads[0])
+        if common is _NO_COMMON:
+            return 0, _resolve_ref(worker_ref)(payloads[0])
+        return 0, _resolve_ref(worker_ref)(payloads[0], common)
 
     import multiprocessing as mp
 
@@ -440,7 +463,7 @@ def race(worker_ref: str, payloads: Sequence[Any], *,
     procs = []
     for idx, payload in enumerate(payloads[:jobs]):
         p = ctx.Process(target=_race_main,
-                        args=(idx, worker_ref, payload, result_q),
+                        args=(idx, worker_ref, payload, result_q, common),
                         daemon=True, name=f"repro-racer-{idx}")
         p.start()
         procs.append(p)

@@ -139,9 +139,20 @@ class VerificationResult:
 
 
 class NvSmtEncoder:
-    def __init__(self, net: Network, simplify: bool = True) -> None:
+    """Symbolic executor from typed NV expressions to SMT terms.
+
+    ``tm`` (optional) lets several encoders share one
+    :class:`TermManager` — the basis of the incremental verification
+    path: per-destination queries encoded into the same manager
+    hash-cons their common structure (the transfer/merge term DAGs over
+    shared ``attr.{u}`` variables), so the CNF for a batch of queries is
+    the shared network encoding plus a small per-query delta.
+    """
+
+    def __init__(self, net: Network, simplify: bool = True,
+                 tm: TermManager | None = None) -> None:
         self.net = net
-        self.tm = TermManager(simplify=simplify)
+        self.tm = TermManager(simplify=simplify) if tm is None else tm
         self.node_width = max(1, (max(net.num_nodes - 1, 0)).bit_length()) \
             if net.num_nodes > 1 else 1
         self._fresh = itertools.count()

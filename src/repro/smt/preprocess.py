@@ -1,0 +1,382 @@
+"""CNF preprocessing (SatELite-style) with model reconstruction.
+
+Run between Tseitin conversion and CDCL (``smt/solver.py``), this pass
+shrinks the clause database before the solver ever sees it:
+
+* **level-0 unit propagation** — units are applied through the clause set
+  (satisfied clauses dropped, falsified literals stripped) and re-emitted
+  as unit clauses so the solver's root level starts fully propagated;
+* **duplicate and tautology removal** — insurance for clause sources that
+  bypass :meth:`repro.smt.cnf.Cnf.add`'s insertion-time hygiene;
+* **subsumption** — a clause whose literal set contains another clause's
+  is redundant and dropped;
+* **self-subsuming resolution** — when ``(l, A)`` and ``(-l, A, B)`` both
+  occur, the second is strengthened to ``(A, B)``;
+* **bounded variable elimination** (BVE) — a non-frozen variable is
+  resolved away when its non-tautological resolvent count does not exceed
+  the clauses it retires; pure literals are a zero-resolvent special case.
+
+**Freezing** keeps incremental solving sound: variables named in
+``frozen`` (term-manager name variables, assumption selectors, the
+constant-true variable) are never eliminated, so their semantics survive
+into later ``solve(assumptions=...)`` calls.  If clauses added *after*
+preprocessing mention an eliminated variable, :meth:`Preprocessor.melt`
+transitively restores the retired clauses for those variables.
+
+**Model reconstruction**: :meth:`extend_model` replays the elimination
+stack in reverse, assigning each eliminated variable so every clause it
+retired is satisfied — SAT models over the preprocessed CNF extend to
+complete models of the original.  (For a variable eliminated by
+resolution this is always possible: were a positive- and a negative-
+occurrence clause both otherwise-false, their resolvent — present and
+satisfied — would be false too.)
+
+Everything here is deterministic: clauses are processed in input order,
+occurrence sets are iterated sorted, so two runs over the same CNF produce
+byte-identical output (a property the counter-budget and equivalence
+gates rely on).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class PreprocessStats:
+    """Effect summary, surfaced as ``pre.*`` in ``SmtResult.stats``."""
+
+    clauses_in: int = 0
+    clauses_out: int = 0
+    units_fixed: int = 0
+    duplicates_dropped: int = 0
+    tautologies_dropped: int = 0
+    subsumed: int = 0
+    strengthened: int = 0
+    vars_eliminated: int = 0
+    rounds: int = 0
+
+    @property
+    def clauses_removed(self) -> int:
+        return max(0, self.clauses_in - self.clauses_out)
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "pre.clauses_in": self.clauses_in,
+            "pre.clauses_out": self.clauses_out,
+            "pre.clauses_removed": self.clauses_removed,
+            "pre.units_fixed": self.units_fixed,
+            "pre.duplicates_dropped": self.duplicates_dropped,
+            "pre.tautologies_dropped": self.tautologies_dropped,
+            "pre.subsumed": self.subsumed,
+            "pre.strengthened": self.strengthened,
+            "pre.vars_eliminated": self.vars_eliminated,
+            "pre.rounds": self.rounds,
+        }
+
+
+class Preprocessor:
+    """One preprocessing context over a CNF.
+
+    Usage::
+
+        pre = Preprocessor(num_vars, clauses, frozen=frozen_vars)
+        simplified = pre.run()          # None => formula is UNSAT
+        ... solver.solve() over simplified ...
+        pre.extend_model(solver.assign) # complete the SAT model in place
+    """
+
+    #: Skip BVE for variables occurring in more clauses than this on
+    #: either side (quadratic resolvent enumeration guard).
+    _BVE_OCC_LIMIT = 10
+    #: Never produce resolvents longer than this.
+    _BVE_LEN_LIMIT = 12
+
+    def __init__(self, num_vars: int, clauses, frozen=()) -> None:
+        self.num_vars = num_vars
+        self.frozen: set[int] = set(frozen)
+        self.stats = PreprocessStats()
+        #: clause index -> sorted literal tuple (None = removed).
+        self.clauses: list[tuple[int, ...] | None] = []
+        #: literal -> set of alive clause indices containing it.
+        self.occ: dict[int, set[int]] = {}
+        #: root-level fixed variables (var -> bool).
+        self.assigned: dict[int, bool] = {}
+        #: elimination stack: (var, clauses retired when it was eliminated),
+        #: replayed in reverse by :meth:`extend_model`.
+        self.elim_stack: list[tuple[int, list[tuple[int, ...]]]] = []
+        self.eliminated: set[int] = set()
+        self._unsat = False
+        self._units: list[int] = []  # pending unit literals
+        seen: set[tuple[int, ...]] = set()
+        for lits in clauses:
+            self.stats.clauses_in += 1
+            key = tuple(sorted(set(lits)))
+            if key in seen:
+                self.stats.duplicates_dropped += 1
+                continue
+            if any(-l in key for l in key):
+                self.stats.tautologies_dropped += 1
+                continue
+            seen.add(key)
+            if len(key) == 1:
+                self._units.append(key[0])
+            self._append(key)
+
+    # ------------------------------------------------------------------
+    # Clause bookkeeping
+    # ------------------------------------------------------------------
+
+    def _append(self, clause: tuple[int, ...]) -> int:
+        idx = len(self.clauses)
+        self.clauses.append(clause)
+        for lit in clause:
+            self.occ.setdefault(lit, set()).add(idx)
+        return idx
+
+    def _remove(self, idx: int) -> None:
+        clause = self.clauses[idx]
+        if clause is None:
+            return
+        self.clauses[idx] = None
+        for lit in clause:
+            self.occ.get(lit, set()).discard(idx)
+
+    def _replace(self, idx: int, clause: tuple[int, ...]) -> None:
+        self._remove(idx)
+        if not clause:
+            self._unsat = True
+            return
+        if len(clause) == 1:
+            self._units.append(clause[0])
+        self.clauses[idx] = clause
+        for lit in clause:
+            self.occ.setdefault(lit, set()).add(idx)
+
+    # ------------------------------------------------------------------
+    # Passes
+    # ------------------------------------------------------------------
+
+    def _propagate_units(self) -> bool:
+        """Apply pending unit literals; False on root conflict."""
+        while self._units:
+            lit = self._units.pop()
+            var = abs(lit)
+            want = lit > 0
+            if var in self.assigned:
+                if self.assigned[var] != want:
+                    return False
+                continue
+            self.assigned[var] = want
+            self.stats.units_fixed += 1
+            for idx in sorted(self.occ.get(lit, ())):
+                self._remove(idx)  # satisfied
+            for idx in sorted(self.occ.get(-lit, ())):
+                clause = self.clauses[idx]
+                if clause is None:
+                    continue
+                rest = tuple(l for l in clause if l != -lit)
+                if not rest:
+                    return False
+                self._replace(idx, rest)
+        return True
+
+    def _subsumes_candidates(self, clause: tuple[int, ...]):
+        """Alive indices of clauses sharing ``clause``'s rarest literal."""
+        best = min(clause, key=lambda l: len(self.occ.get(l, ())))
+        return sorted(self.occ.get(best, ()))
+
+    def _subsume(self) -> int:
+        removed = 0
+        for idx, clause in enumerate(self.clauses):
+            if clause is None:
+                continue
+            cset = set(clause)
+            for other in self._subsumes_candidates(clause):
+                if other == idx:
+                    continue
+                d = self.clauses[other]
+                if d is None or len(d) < len(clause):
+                    continue
+                if cset.issubset(d):
+                    self._remove(other)
+                    removed += 1
+        self.stats.subsumed += removed
+        return removed
+
+    def _self_subsume(self) -> int:
+        """Strengthen ``(-l, A, B)`` to ``(A, B)`` given ``(l, A)``."""
+        strengthened = 0
+        for idx in range(len(self.clauses)):
+            clause = self.clauses[idx]
+            if clause is None:
+                continue
+            for lit in clause:
+                rest = set(clause)
+                rest.discard(lit)
+                for other in sorted(self.occ.get(-lit, ())):
+                    if other == idx:
+                        continue
+                    d = self.clauses[other]
+                    if d is None or len(d) < len(clause):
+                        continue
+                    if rest.issubset(d):
+                        self._replace(
+                            other, tuple(l for l in d if l != -lit))
+                        strengthened += 1
+                clause = self.clauses[idx]
+                if clause is None:
+                    break
+        self.stats.strengthened += strengthened
+        return strengthened
+
+    def _try_eliminate(self, var: int) -> bool:
+        if (var in self.frozen or var in self.assigned
+                or var in self.eliminated):
+            return False
+        pos = sorted(self.occ.get(var, ()))
+        neg = sorted(self.occ.get(-var, ()))
+        if not pos and not neg:
+            return False  # variable unused; nothing to retire
+        if (len(pos) > self._BVE_OCC_LIMIT
+                or len(neg) > self._BVE_OCC_LIMIT):
+            return False
+        resolvents: list[tuple[int, ...]] = []
+        if pos and neg:
+            budget = len(pos) + len(neg)
+            dedup: set[tuple[int, ...]] = set()
+            for pi in pos:
+                p = self.clauses[pi]
+                for ni in neg:
+                    n = self.clauses[ni]
+                    merged = set(p)
+                    merged.discard(var)
+                    merged.update(n)
+                    merged.discard(-var)
+                    if any(-l in merged for l in merged):
+                        continue  # tautological resolvent
+                    if len(merged) > self._BVE_LEN_LIMIT:
+                        return False
+                    key = tuple(sorted(merged))
+                    if key in dedup:
+                        continue
+                    dedup.add(key)
+                    resolvents.append(key)
+                    if len(resolvents) > budget:
+                        return False
+        # else: pure literal — zero resolvents, always worth it.
+        retired = [self.clauses[i] for i in pos + neg]
+        for i in pos + neg:
+            self._remove(i)
+        for r in resolvents:
+            if len(r) == 1:
+                self._units.append(r[0])
+            self._append(r)
+        self.elim_stack.append((var, retired))
+        self.eliminated.add(var)
+        self.stats.vars_eliminated += 1
+        return True
+
+    def _eliminate_vars(self) -> int:
+        count = 0
+        for var in range(1, self.num_vars + 1):
+            if self._try_eliminate(var):
+                count += 1
+        return count
+
+    # ------------------------------------------------------------------
+    # Driver
+    # ------------------------------------------------------------------
+
+    def run(self, max_rounds: int = 3) -> list[tuple[int, ...]] | None:
+        """Run passes to (bounded) fixpoint; returns the simplified clause
+        list, or ``None`` if the formula is UNSAT at level 0."""
+        if not self._propagate_units():
+            self._unsat = True
+            return None
+        for _ in range(max_rounds):
+            self.stats.rounds += 1
+            changed = self._subsume()
+            changed += self._self_subsume()
+            changed += self._eliminate_vars()
+            if self._unsat or not self._propagate_units():
+                self._unsat = True
+                return None
+            if not changed:
+                break
+        out = [(1 if v else -1) * var
+               for var, v in sorted(self.assigned.items())]
+        result: list[tuple[int, ...]] = [(lit,) for lit in out]
+        for clause in self.clauses:
+            if clause is not None and len(clause) > 1:
+                result.append(clause)
+        self.stats.clauses_out = len(result)
+        return result
+
+    # ------------------------------------------------------------------
+    # Incremental support
+    # ------------------------------------------------------------------
+
+    def mentions_eliminated(self, clauses) -> set[int]:
+        """Eliminated variables referenced by ``clauses`` (if any, the
+        caller must :meth:`melt` them before adding the clauses)."""
+        hit: set[int] = set()
+        for clause in clauses:
+            for lit in clause:
+                if abs(lit) in self.eliminated:
+                    hit.add(abs(lit))
+        return hit
+
+    def melt(self, variables) -> list[tuple[int, ...]]:
+        """Un-eliminate ``variables``: pop their stack entries and return
+        the retired clauses so the caller can re-add them to the solver.
+        Transitive — retired clauses may mention variables eliminated
+        later; those are melted too.  Melted variables become frozen."""
+        restored: list[tuple[int, ...]] = []
+        work = sorted(set(variables))
+        while work:
+            var = work.pop()
+            if var not in self.eliminated:
+                continue
+            self.eliminated.discard(var)
+            self.frozen.add(var)
+            for i, (v, retired) in enumerate(self.elim_stack):
+                if v == var:
+                    del self.elim_stack[i]
+                    break
+            else:
+                retired = []
+            for clause in retired:
+                restored.append(clause)
+                for lit in clause:
+                    if abs(lit) in self.eliminated:
+                        work.append(abs(lit))
+        return restored
+
+    # ------------------------------------------------------------------
+    # Model reconstruction
+    # ------------------------------------------------------------------
+
+    def extend_model(self, assign: list[int]) -> list[int]:
+        """Complete a solver ``assign`` array (index = variable; values
+        -1/0/+1) in place: fix root units, then replay the elimination
+        stack in reverse, choosing each eliminated variable so every
+        clause it retired is satisfied."""
+        for var, val in self.assigned.items():
+            assign[var] = 1 if val else -1
+        for var, retired in reversed(self.elim_stack):
+            value = False  # free if no retired clause forces it
+            for clause in retired:
+                forced = True
+                for lit in clause:
+                    v = abs(lit)
+                    if v == var:
+                        continue
+                    if assign[v] == (1 if lit > 0 else -1):
+                        forced = False
+                        break
+                if forced:
+                    value = (var in clause)
+                    break
+            assign[var] = 1 if value else -1
+        return assign

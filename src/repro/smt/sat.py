@@ -5,6 +5,21 @@ conflict analysis with learnt-clause minimisation and non-chronological
 backjumping, an indexed binary heap over VSIDS activities, phase saving,
 Luby restarts, and LBD-based learnt-clause database reduction.
 
+The solver is *incremental* in the MiniSat ``solve(assumptions)`` sense:
+
+* ``solve(assumptions=[...])`` enqueues the assumption literals as
+  pseudo-decisions below the real search.  Learnt clauses, VSIDS
+  activities and saved phases all survive across calls, so a batch of
+  related queries over one shared CNF pays the search cost once and the
+  marginal queries ride on the accumulated clause database.
+* When a solve fails *because of* the assumptions (rather than the clause
+  set itself), :meth:`final_conflict` returns the subset of assumption
+  literals that cannot hold together — the unsat core over assumptions —
+  and the solver stays usable (``ok`` remains True).
+* Clauses and variables may be added between calls
+  (:meth:`add_clause` / :meth:`ensure_num_vars`), extending the instance
+  without rebuilding the watch lists or losing the learnt database.
+
 This is the decision procedure under NV's SMT back end: QF_BV constraints are
 bit-blasted (``bitblast.py``), Tseitin-converted (``cnf.py``) and decided
 here, replacing the Z3 dependency of the original artifact.
@@ -146,6 +161,12 @@ class _VarHeap:
     def __len__(self) -> int:
         return len(self.heap)
 
+    def grow(self, new_num_vars: int) -> None:
+        """Register variables ``len(self.pos) .. new_num_vars`` (inclusive)."""
+        for v in range(len(self.pos), new_num_vars + 1):
+            self.pos.append(-1)
+            self.insert(v)
+
 
 class SatSolver:
     def __init__(self, num_vars: int, clauses: Iterable[Sequence[int]],
@@ -164,6 +185,7 @@ class SatSolver:
         self.var_inc = 1.0
         self.var_decay = 1.0 / config.var_decay
         self.restart_base = config.restart_base
+        self._default_phase = config.default_phase
         self.phase = [config.default_phase] * (num_vars + 1)
         if config.seed is not None:
             # Sub-quantum jitter: diversifies tie-breaking among untouched
@@ -173,6 +195,12 @@ class SatSolver:
                 self.activity[v] = rng.random() * 1e-6
         self.order = _VarHeap(num_vars, self.activity)
         self.ok = True
+        #: Assumption literals for the *current* :meth:`solve` call, enqueued
+        #: as pseudo-decisions below the real search (MiniSat-style).
+        self.assumptions: list[int] = []
+        #: After an UNSAT-under-assumptions answer: the subset of assumption
+        #: literals involved in the refutation (see :meth:`final_conflict`).
+        self.failed_assumptions: list[int] = []
         self.conflicts = 0
         self.decisions = 0
         self.propagations = 0
@@ -190,9 +218,35 @@ class SatSolver:
     # Clause management
     # ------------------------------------------------------------------
 
+    def ensure_num_vars(self, num_vars: int) -> None:
+        """Grow the variable universe to ``num_vars`` (no-op if smaller).
+
+        New variables start unassigned, with zero activity and the config's
+        default phase, and are entered into the decision heap — this is how
+        an incremental client extends the instance between solves."""
+        if num_vars <= self.num_vars:
+            return
+        grow = num_vars - self.num_vars
+        self.assign.extend([0] * grow)
+        self.level.extend([0] * grow)
+        self.reason.extend([None] * grow)
+        self.activity.extend([0.0] * grow)
+        self.phase.extend([self._default_phase] * grow)
+        self.watches.extend([] for _ in range(2 * grow))
+        self.num_vars = num_vars
+        self.order.grow(num_vars)
+
     def add_clause(self, lits: Sequence[int]) -> None:
         if not self.ok:
             return
+        if self.trail_lim:
+            # Incremental client adding clauses between solves: return to
+            # the root level so root-satisfied/falsified simplification and
+            # unit enqueueing below stay sound.
+            self._backjump(0)
+        top = max((lit if lit > 0 else -lit for lit in lits), default=0)
+        if top > self.num_vars:
+            self.ensure_num_vars(top)
         seen: set[int] = set()
         clause: list[int] = []
         for lit in lits:
@@ -395,6 +449,45 @@ class SatSolver:
                 return False
         return True
 
+    def _analyze_final(self, a: int) -> list[int]:
+        """``a`` is an assumption found false while re-establishing the
+        assumption prefix: walk the implication graph backwards to the
+        assumption pseudo-decisions responsible and return the involved
+        subset of assumption literals (MiniSat's ``analyzeFinal``).  The
+        returned list always contains ``a`` itself."""
+        var = a if a > 0 else -a
+        if self.level[var] == 0:
+            return [a]  # falsified by the clause set alone at the root
+        out = [a]
+        seen = bytearray(self.num_vars + 1)
+        seen[var] = 1
+        levels = self.level
+        reasons = self.reason
+        trail = self.trail
+        for i in range(len(trail) - 1, self.trail_lim[0] - 1, -1):
+            lit = trail[i]
+            v = lit if lit > 0 else -lit
+            if not seen[v]:
+                continue
+            reason = reasons[v]
+            if reason is None:
+                # A pseudo-decision: during the assumption prefix every
+                # decision literal *is* an assumption literal.
+                out.append(lit)
+            else:
+                for q in reason:
+                    qv = q if q > 0 else -q
+                    if qv != v and levels[qv] > 0:
+                        seen[qv] = 1
+            seen[v] = 0
+        return out
+
+    def final_conflict(self) -> list[int]:
+        """The failed-assumption subset from the last
+        UNSAT-under-assumptions :meth:`solve` (empty when the last answer
+        was SAT, a budget timeout, or an inherent UNSAT)."""
+        return list(self.failed_assumptions)
+
     def _clause_lbd(self, clause: list[int]) -> int:
         return len({self.level[abs(q)] for q in clause})
 
@@ -462,10 +555,27 @@ class SatSolver:
             "sat.lbd": metrics.Histogram.from_values(self.lbd.values()),
         }
 
-    def solve(self, max_conflicts: int | None = None) -> bool | None:
-        """Returns True (sat), False (unsat), or None on conflict budget."""
+    def solve(self, max_conflicts: int | None = None,
+              assumptions: Sequence[int] = ()) -> bool | None:
+        """Returns True (sat), False (unsat), or None on conflict budget.
+
+        ``assumptions`` are literals temporarily held true for this call
+        only, enqueued as pseudo-decisions below the search.  If the
+        instance is UNSAT *under* the assumptions (but not inherently),
+        ``ok`` stays True, :meth:`final_conflict` reports the failed
+        subset, and subsequent calls may retry with other assumptions —
+        keeping learnt clauses, activities and saved phases throughout."""
         if not self.ok:
             return False
+        self.failed_assumptions = []
+        self.assumptions = []
+        for a in assumptions:
+            var = a if a > 0 else -a
+            if var > self.num_vars:
+                self.ensure_num_vars(var)
+            self.assumptions.append(a)
+        if self.trail_lim:
+            self._backjump(0)  # clear state left by a previous solve
         if self._propagate() is not None:
             self.ok = False
             return False
@@ -540,6 +650,19 @@ class SatSolver:
                 if local_conflicts >= budget:
                     return None  # restart
             else:
+                if len(self.trail_lim) < len(self.assumptions):
+                    # Re-establish the assumption prefix one pseudo-decision
+                    # level at a time (restarts cancel it; propagation in
+                    # between may already satisfy or falsify assumptions).
+                    a = self.assumptions[len(self.trail_lim)]
+                    v = self._value(a)
+                    if v == -1:
+                        self.failed_assumptions = self._analyze_final(a)
+                        return False
+                    self.trail_lim.append(len(self.trail))
+                    if v == 0:
+                        self._enqueue(a, None)
+                    continue
                 lit = self._decide()
                 if lit == 0:
                     return True

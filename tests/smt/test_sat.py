@@ -213,6 +213,93 @@ class TestPortfolioConfigs:
         assert s.solve() is False
 
 
+# ----------------------------------------------------------------------
+# Assumptions and unsat cores
+# ----------------------------------------------------------------------
+
+class TestAssumptions:
+    def test_sat_under_assumptions_respects_them(self):
+        s = SatSolver(3, [(1, 2, 3)])
+        assert s.solve(assumptions=[-1, -2]) is True
+        assert not s.model_value(1) and not s.model_value(2)
+        assert s.model_value(3)
+
+    def test_unsat_under_assumptions_keeps_solver_usable(self):
+        # x1 -> x2, assuming x1 and ~x2 is UNSAT — but only under the
+        # assumptions: solver must stay usable and SAT without them.
+        s = SatSolver(2, [(-1, 2)])
+        assert s.solve(assumptions=[1, -2]) is False
+        core = s.final_conflict()
+        assert set(core) <= {1, -2} and core
+        assert s.solve() is True
+        assert s.solve(assumptions=[1]) is True
+        assert s.model_value(2)
+
+    def test_chain_core_is_minimal(self):
+        # 3 and 5 are irrelevant; the chain 1 -> ... -> ~2 conflicts
+        # exactly with assumptions {1, 2}.
+        clauses = [(-1, 4), (-4, -2)]
+        s = SatSolver(5, clauses)
+        assert s.solve(assumptions=[3, 1, 2, 5]) is False
+        assert set(s.final_conflict()) == {1, 2}
+
+    def test_root_falsified_assumption_singleton_core(self):
+        s = SatSolver(2, [(1,)])
+        assert s.solve(assumptions=[-1]) is False
+        assert s.final_conflict() == [-1]
+
+    def test_learnt_clauses_persist_across_calls(self):
+        num_vars, clauses = pigeonhole(4)
+        s = SatSolver(num_vars, clauses)
+        assert s.solve() is False
+        first_conflicts = s.conflicts
+        # A second call on the (now root-level) UNSAT instance is cheap.
+        assert s.solve() is False
+        assert s.conflicts - first_conflicts <= first_conflicts
+
+    def test_incremental_clause_addition(self):
+        s = SatSolver(3, [(1, 2)])
+        assert s.solve() is True
+        s.add_clause((-1,))
+        s.add_clause((-2, 3))
+        assert s.solve() is True
+        assert s.model_value(2) and s.model_value(3)
+        s.add_clause((-3,))
+        assert s.solve() is False
+
+    def test_ensure_num_vars_growth(self):
+        s = SatSolver(2, [(1, 2)])
+        assert s.solve() is True
+        s.add_clause((-1, 7))   # implicitly grows to 7 vars
+        assert s.num_vars >= 7
+        assert s.solve(assumptions=[1]) is True
+        assert s.model_value(7)
+
+    @given(st.lists(
+        st.lists(st.sampled_from([1, -1, 2, -2, 3, -3, 4, -4, 5, -5]),
+                 min_size=1, max_size=3).map(tuple),
+        max_size=12),
+        st.lists(st.sampled_from([1, -1, 2, -2, 3, -3]),
+                 max_size=3, unique_by=abs))
+    @settings(max_examples=80, deadline=None)
+    def test_assumptions_match_brute_force(self, clauses, assumptions):
+        expected = brute_force(
+            5, list(clauses) + [(a,) for a in assumptions])
+        s = SatSolver(5, clauses)
+        got = s.solve(assumptions=assumptions)
+        assert got == expected
+        if got:
+            for clause in list(clauses) + [(a,) for a in assumptions]:
+                assert any(s.model_value(abs(l)) == (l > 0) for l in clause)
+        else:
+            # The core must itself be a subset of assumptions that is
+            # jointly unsatisfiable with the clauses.
+            core = s.final_conflict()
+            assert set(core) <= set(assumptions)
+            assert brute_force(
+                5, list(clauses) + [(a,) for a in core]) is False
+
+
 @given(st.lists(
     st.lists(st.sampled_from([1, -1, 2, -2, 3, -3, 4, -4, 5, -5]),
              min_size=1, max_size=3).map(tuple),
