@@ -1,5 +1,42 @@
-"""Hash-consed BDD/MTBDD engine (paper §5.1, fig 11)."""
+"""Hash-consed BDD/MTBDD engine (paper §5.1, fig 11).
 
+Two interchangeable engines implement the same manager API:
+
+* :class:`~repro.bdd.arena.ArenaBddManager` (default) — flat int-array
+  arena with open-addressed unique/op tables: ~3x lower retained memory,
+  cheap snapshots, and vectorised bulk analyses when numpy is available.
+* :class:`~repro.bdd.manager.BddManager` — the original object engine,
+  kept as the executable semantic spec and cross-checked against the
+  arena by ``tests/bdd/test_arena_equivalence.py``; its dict/list hot
+  paths run on CPython's C internals, so it still wins on scalar op
+  throughput (see EXPERIMENTS.md, PR 6).
+
+Select with ``NV_BDD_ENGINE=object|arena`` (see :func:`make_manager`).
+"""
+
+import os
+
+from .arena import ArenaBddManager
 from .manager import BddManager, LEAF_LEVEL
 
-__all__ = ["BddManager", "LEAF_LEVEL"]
+__all__ = ["ArenaBddManager", "BddManager", "LEAF_LEVEL", "make_manager"]
+
+_ENGINES = {"object": BddManager, "arena": ArenaBddManager}
+
+
+def engine_name() -> str:
+    """The engine selected by ``NV_BDD_ENGINE`` (default ``arena``)."""
+    name = os.environ.get("NV_BDD_ENGINE", "arena").strip().lower() or "arena"
+    if name not in _ENGINES:
+        raise ValueError(
+            f"NV_BDD_ENGINE must be one of {sorted(_ENGINES)}, got {name!r}")
+    return name
+
+
+def make_manager(**kwargs):
+    """Construct the BDD manager selected by ``NV_BDD_ENGINE``.
+
+    The environment variable is read per call (not at import), so tests can
+    flip engines with ``monkeypatch.setenv``.
+    """
+    return _ENGINES[engine_name()](**kwargs)

@@ -17,6 +17,8 @@ arbitrary hashable value and live at the sentinel level ``LEAF_LEVEL``.
 from __future__ import annotations
 
 import itertools
+import sys
+from array import array
 from typing import Any, Callable, Iterator
 
 from .. import metrics, obs
@@ -47,6 +49,15 @@ GROWTH_SAMPLE_INTERVAL = 4096
 
 
 _KEY_SHIFT = 30  # pack (a, b) node-id pairs into one int key: (a << 30) | b
+
+
+def snapshot_bytes(arr: array) -> bytes:
+    """Stable byte encoding for snapshot triples (explicit little-endian so
+    snapshots compare equal across mixed-endian worker fleets)."""
+    if sys.byteorder != "little":  # pragma: no cover - big-endian hosts
+        arr = array("i", arr)
+        arr.byteswap()
+    return arr.tobytes()
 
 
 class BddManager:
@@ -82,6 +93,11 @@ class BddManager:
         self._and_cache: dict[int, int] = {}
         self._xor_cache: dict[int, int] = {}
         self._ite_cache: dict[int, int] = {}
+        # Cross-call analysis caches (uncapped: keyed by canonical node ids,
+        # bounded by the number of live nodes; cleared by clear_caches).
+        self._satcount_memo: dict[int, dict[int, int]] = {}
+        self._leaf_groups_memo: dict[int, dict[tuple[int, int],
+                                               dict[Any, int]]] = {}
         # Instrumentation (see repro.perf).
         self.op_hits = 0
         self.op_misses = 0
@@ -447,17 +463,23 @@ class BddManager:
 
     def map_ite(self, pred: int, fn_true: Callable[[Any], Any],
                 fn_false: Callable[[Any], Any], root: int,
-                memo: dict[int, int] | None = None) -> int:
+                memo: dict[int, int] | None = None,
+                memo_true: dict[int, int] | None = None,
+                memo_false: dict[int, int] | None = None) -> int:
         """The NV ``mapIte`` primitive (fig 11 of the paper).
 
         ``pred`` is a boolean BDD over the map's key bits; leaves of ``root``
         reached under keys satisfying ``pred`` are mapped with ``fn_true``,
         the rest with ``fn_false``.  Iterative, like :meth:`apply2`; the
-        optional ``memo`` (packed-int keys) may be shared between calls with
-        the same function pair.
+        optional ``memo`` (packed ``(pred << 30) | node`` keys) plus the two
+        branch memos (``apply1`` keying) may be shared between calls with the
+        same function pair — route policies are re-applied every simulation
+        round, so sharing turns repeat rounds into cache hits.
         """
-        memo_true: dict[int, int] = {}
-        memo_false: dict[int, int] = {}
+        if memo_true is None:
+            memo_true = {}
+        if memo_false is None:
+            memo_false = {}
         if memo is None:
             memo = {}
         level = self._level
@@ -583,8 +605,12 @@ class BddManager:
         """Like :meth:`sat_count` but over variables ``lvl..num_vars-1``.
 
         ``root`` must not test any variable below ``lvl``.
+
+        Per-node counts are cached across calls (``_satcount_memo``, keyed
+        by ``num_vars``): ``leaf_groups`` re-counts the same domain regions
+        for every map it is asked about.
         """
-        memo: dict[int, int] = {}
+        memo = self._satcount_memo.setdefault(num_vars, {})
 
         def rec(n: int) -> int:
             """Count over variables strictly below this node's own level."""
@@ -625,7 +651,11 @@ class BddManager:
         """
         if domain is None:
             domain = self.true
-        memo: dict[tuple[int, int], dict[Any, int]] = {}
+        # The (map node, domain node) product memo is shared across calls:
+        # an analysis reports every network node's map against one domain,
+        # and converged maps share most of their structure.  Entries are
+        # never mutated after insertion, so cross-call reuse is safe.
+        memo = self._leaf_groups_memo.setdefault(num_vars, {})
 
         def top(n: int, d: int) -> int:
             t = min(self._level[n], self._level[d])
@@ -701,6 +731,43 @@ class BddManager:
 
         yield from rec(root)
 
+    def snapshot(self, root: int) -> tuple[bytes, list[Any]]:
+        """Canonical flat snapshot of the sub-DAG rooted at ``root``.
+
+        Nodes are renumbered in DFS preorder (lo before hi, root = 0) into
+        one ``array('i')`` of ``(var, lo, hi)`` triples; leaves store ``-1``
+        in var and an index into the returned leaf list.  Equal diagrams —
+        across engines and across processes — produce byte-identical blobs,
+        so :class:`~repro.eval.maps.FrozenMap` equality stays structural.
+        """
+        level_a, lo_a, hi_a = self._level, self._lo, self._hi
+        leaf_value = self._leaf_value
+        out = array("i")
+        leaves: list[Any] = []
+        renum: dict[int, int] = {}
+
+        def rec(n: int) -> int:
+            new = renum.get(n)
+            if new is not None:
+                return new
+            new = len(renum)
+            renum[n] = new
+            base = len(out)
+            out.extend((0, 0, 0))  # placeholder triple at slot `new`
+            if level_a[n] == LEAF_LEVEL:
+                out[base] = -1
+                out[base + 1] = len(leaves)
+                out[base + 2] = -1
+                leaves.append(leaf_value[n])
+            else:
+                out[base] = level_a[n]
+                out[base + 1] = rec(lo_a[n])
+                out[base + 2] = rec(hi_a[n])
+            return new
+
+        rec(root)
+        return snapshot_bytes(out), leaves
+
     def clear_caches(self) -> None:
         """Drop operation memo tables.
 
@@ -712,6 +779,8 @@ class BddManager:
         self._and_cache.clear()
         self._xor_cache.clear()
         self._ite_cache.clear()
+        self._satcount_memo.clear()
+        self._leaf_groups_memo.clear()
 
     def op_cache_size(self) -> int:
         """Total entries currently held across the operation memo tables."""

@@ -122,7 +122,7 @@ class PyCompiler:
             "__memos": memos,
             "__map_op": _map_op,
             "__combine_op": _combine_op,
-            "__mapite_op": _mapite_op(interp),
+            "__mapite_op": _mapite_op(interp, memos),
         }
         for name, value in symbolics.items():
             module_globals[_mangle(name)] = value
@@ -409,10 +409,18 @@ def _key(fn: Any) -> tuple:
     return (key,) if key is not None else (id(fn),)
 
 
-def _mapite_op(interp: Interpreter):
+def _mapite_op(interp: Interpreter, memos: dict[Any, dict]):
+    # The main memo is keyed by the function pair (the pred's node id is
+    # packed into each memo key, so one table serves every predicate); the
+    # branch memos use apply1 keying and share the ("map", key) tables with
+    # plain ``map`` calls of the same closure.
     def run(pred: Any, fn_true: Any, fn_false: Any, m: NVMap) -> NVMap:
         pred_bdd = interp.predicate_bdd(pred, m.key_ty)
-        return m.map_ite(pred_bdd, fn_true, fn_false)
+        memo = _memo_for(
+            memos, ("mapite", *_key(fn_true), *_key(fn_false)))
+        return m.map_ite(pred_bdd, fn_true, fn_false, memo,
+                         _memo_for(memos, ("map", *_key(fn_true))),
+                         _memo_for(memos, ("map", *_key(fn_false))))
     return run
 
 

@@ -34,6 +34,11 @@ class Interpreter:
         # simulation applies the same transfer/merge repeatedly.
         self._map_memo: dict[Any, dict[int, int]] = {}
         self._combine_memo: dict[Any, dict[tuple[int, int], int]] = {}
+        # mapIte's main memo is keyed by the (fn_true, fn_false) pair; the
+        # pred node id is part of each packed memo key, so one table serves
+        # every predicate.  Branch memos use apply1 keying and live in
+        # _map_memo, shared with plain ``map`` calls of the same closure.
+        self._mapite_memo: dict[Any, dict[int, int]] = {}
         self._pred_cache: dict[Any, int] = {}
         self._free_vars_cache: dict[int, tuple[str, ...]] = {}
 
@@ -203,8 +208,16 @@ class Interpreter:
             fn_false = self._eval(e.args[2], env)
             m = self._eval_map(e.args[3], env)
             pred_bdd = self.predicate_bdd(pred, m.key_ty)
+            kt = self._closure_key(fn_true) if self.enable_cache else None
+            kf = self._closure_key(fn_false) if self.enable_cache else None
+            if kt is None or kf is None:
+                memo = {}
+            else:
+                memo = self._mapite_memo.setdefault((kt, kf), {})
             return m.map_ite(pred_bdd, self.as_callable(fn_true),
-                             self.as_callable(fn_false))
+                             self.as_callable(fn_false), memo,
+                             self._memo_for(fn_true, self._map_memo),
+                             self._memo_for(fn_false, self._map_memo))
         raise NvRuntimeError(f"unknown operator {op!r}")
 
     def _eval_map(self, e: A.Expr, env: dict[str, Any]) -> NVMap:

@@ -12,7 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Callable
 
-from ..bdd.manager import LEAF_LEVEL, BddManager
+from ..bdd import make_manager
 from ..lang import types as T
 from ..lang.errors import NvEncodingError
 from .encoding import Encoder
@@ -21,13 +21,17 @@ from .values import VRecord, VSome
 
 class MapContext:
     """Shared state for all maps of one analysis run: the BDD manager, the
-    key encoder for the network under analysis, and per-type caches."""
+    key encoder for the network under analysis, and per-type caches.
+
+    The manager engine is chosen by ``NV_BDD_ENGINE`` (see
+    :func:`repro.bdd.make_manager`); both engines expose the same API."""
 
     def __init__(self, num_nodes: int = 0,
                  edges: tuple[tuple[int, int], ...] = ()) -> None:
-        self.manager = BddManager()
+        self.manager = make_manager()
         self.encoder = Encoder(num_nodes, edges)
         self._domain_cache: dict[T.Type, int] = {}
+        self._frozen_cache: dict[tuple[int, T.Type], "FrozenMap"] = {}
 
     def domain(self, key_ty: T.Type) -> int:
         """Cached validity BDD for a key type."""
@@ -86,10 +90,19 @@ class NVMap:
                      self.ctx.manager.apply2(fn, self.root, other.root, memo))
 
     def map_ite(self, pred_bdd: int, fn_true: Callable[[Any], Any],
-                fn_false: Callable[[Any], Any]) -> "NVMap":
-        """``mapIte p f g m`` with the key predicate already built as a BDD."""
+                fn_false: Callable[[Any], Any],
+                memo: dict[int, int] | None = None,
+                memo_true: dict[int, int] | None = None,
+                memo_false: dict[int, int] | None = None) -> "NVMap":
+        """``mapIte p f g m`` with the key predicate already built as a BDD.
+
+        The three optional memos (main, true-branch, false-branch) may be
+        shared across calls with the same function pair — see
+        :meth:`repro.bdd.manager.BddManager.map_ite`."""
         return NVMap(self.ctx, self.key_ty,
-                     self.ctx.manager.map_ite(pred_bdd, fn_true, fn_false, self.root))
+                     self.ctx.manager.map_ite(pred_bdd, fn_true, fn_false,
+                                              self.root, memo, memo_true,
+                                              memo_false))
 
     # ------------------------------------------------------------------
     # Analysis helpers (not NV surface operations)
@@ -151,20 +164,25 @@ def _freeze(key: Any) -> Any:
 class FrozenMap:
     """A picklable, structurally comparable snapshot of an :class:`NVMap`.
 
-    ``tree`` is the map's canonical MTBDD as nested tuples —
-    ``("leaf", value)`` at the bottom, ``(level, lo, hi)`` above — so two
-    maps over the same network are equal iff their frozen trees are
-    (MTBDDs are canonical for a fixed variable order).  Shard workers use
-    this to ship map-valued routes back to the parent: the live map's
-    hash-consed manager never crosses the process boundary
+    ``nodes`` is the map's canonical MTBDD flattened to one little-endian
+    ``int32`` blob of ``(var, lo, hi)`` triples in DFS preorder (lo before
+    hi, root first; leaves store ``-1`` in var and an index into ``leaves``)
+    — the engine-independent format produced by both managers' ``snapshot``.
+    Two maps over the same network are equal iff their blobs and leaf tuples
+    are (MTBDDs are canonical for a fixed variable order), and the blob
+    pickles as a single bytes object instead of a nested-tuple graph.  Shard
+    workers use this to ship map-valued routes back to the parent: the live
+    map's hash-consed manager never crosses the process boundary
     (see :mod:`repro.parallel`).
     """
 
     key_ty: T.Type
-    tree: Any
+    nodes: bytes
+    leaves: tuple[Any, ...]
 
     def __repr__(self) -> str:
-        return f"<FrozenMap key={self.key_ty}>"
+        return (f"<FrozenMap key={self.key_ty} nodes={len(self.nodes) // 12} "
+                f"leaves={len(self.leaves)}>")
 
 
 def freeze_value(value: Any) -> Any:
@@ -172,8 +190,20 @@ def freeze_value(value: Any) -> Any:
     :class:`FrozenMap`.  Non-map values come back equal to the input, so
     freezing is safe to apply to any route before pickling it."""
     if isinstance(value, NVMap):
-        return FrozenMap(value.key_ty,
-                         _freeze_tree(value.ctx.manager, value.root, {}))
+        # One FrozenMap *object* per live (root, key type): converged
+        # solutions repeat the same hash-consed roots across many nodes
+        # (and the same small nested maps across many leaves), and pickle
+        # shares repeated objects by identity — each distinct diagram is
+        # serialised once, every other occurrence becomes a memo backref.
+        cache = value.ctx._frozen_cache
+        key = (value.root, value.key_ty)
+        frozen_map = cache.get(key)
+        if frozen_map is None:
+            nodes, leaves = value.ctx.manager.snapshot(value.root)
+            frozen_map = FrozenMap(value.key_ty, nodes,
+                                   tuple(freeze_value(v) for v in leaves))
+            cache[key] = frozen_map
+        return frozen_map
     if isinstance(value, VSome):
         frozen = freeze_value(value.value)
         return value if frozen is value.value else VSome(frozen)
@@ -188,16 +218,3 @@ def freeze_value(value: Any) -> Any:
             return value
         return frozen_elts
     return value
-
-
-def _freeze_tree(mgr: BddManager, n: int, memo: dict[int, Any]) -> Any:
-    out = memo.get(n)
-    if out is None:
-        if mgr._level[n] == LEAF_LEVEL:
-            out = ("leaf", freeze_value(mgr._leaf_value[n]))
-        else:
-            out = (mgr._level[n],
-                   _freeze_tree(mgr, mgr._lo[n], memo),
-                   _freeze_tree(mgr, mgr._hi[n], memo))
-        memo[n] = out
-    return out
