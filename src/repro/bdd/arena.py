@@ -33,7 +33,6 @@ from __future__ import annotations
 
 import itertools
 import os
-import sys
 from array import array
 from typing import Any, Callable, Iterator
 
@@ -63,10 +62,6 @@ _MULT_C = 741457
 #: analysis context, so the empty footprint stays a few KiB.
 _UNIQUE_INIT_CAP = 1 << 10
 _CACHE_INIT_CAP = 1 << 8
-
-#: Deep diagrams recurse one Python frame per tested level; key widths are
-#: tens of bits, but leave generous headroom for stacked analyses.
-_MIN_RECURSION_LIMIT = 20_000
 
 #: Sub-DAGs at or below this size use the Python reachability walk even when
 #: numpy is present: the vectorised marking pass costs O(arena), which dwarfs
@@ -132,14 +127,15 @@ class ArenaBddManager:
         # (root, num_vars) and the cross-call leaf_groups product memos.
         self._satcount_cache: dict[tuple[int, int], int] = {}
         self._leaf_groups_memo: dict[int, dict[int, dict[Any, int]]] = {}
+        # Callbacks run by clear_caches so owners of derived caches (e.g.
+        # MapContext's frozen-snapshot cache) can drop them in lockstep.
+        self._clear_hooks: list[Callable[[], None]] = []
         # Instrumentation (same counters as the object engine).
         self.op_hits = 0
         self.op_misses = 0
         self.apply_hits = 0
         self.apply_misses = 0
         self._next_growth_sample = GROWTH_SAMPLE_INTERVAL
-        if sys.getrecursionlimit() < _MIN_RECURSION_LIMIT:
-            sys.setrecursionlimit(_MIN_RECURSION_LIMIT)
         metrics.register_weak_provider(
             f"bdd.arena.{next(_manager_ids)}", self, _live_gauges)
         self.false = self.leaf(False)
@@ -747,6 +743,13 @@ class ArenaBddManager:
                     y1 = hi_a[f2]
                 else:
                     r = leaf(fn(leaf_values[lo_a[f1]], leaf_values[lo_a[f2]]))
+                    if self._unique is not utable:
+                        # fn re-entered the manager (merge functions over
+                        # map-valued routes build nodes) and forced a
+                        # rehash; the inline inserts below must probe the
+                        # live table or duplicate ids break hash-consing.
+                        utable = self._unique
+                        umask = self._unique_cap - 1
                     memo[(f1 << _KEY_SHIFT) | f2] = r
                     emit(r)
                     continue
@@ -1283,12 +1286,19 @@ class ArenaBddManager:
     # Cache management and instrumentation
     # ------------------------------------------------------------------
 
+    def register_clear_hook(self, hook: Callable[[], None]) -> None:
+        """Run ``hook`` whenever :meth:`clear_caches` drops the memo tables
+        (used by owners of caches derived from this manager's nodes)."""
+        self._clear_hooks.append(hook)
+
     def clear_caches(self) -> None:
         """Drop operation memo tables and their load counters.  Unique and
         leaf tables are untouched, so hash-consed node identity survives."""
         self._init_op_caches()
         self._satcount_cache.clear()
         self._leaf_groups_memo.clear()
+        for hook in self._clear_hooks:
+            hook()
 
     def op_cache_size(self) -> int:
         """Live entries across the operation memo tables (load counters are

@@ -98,6 +98,9 @@ class BddManager:
         self._satcount_memo: dict[int, dict[int, int]] = {}
         self._leaf_groups_memo: dict[int, dict[tuple[int, int],
                                                dict[Any, int]]] = {}
+        # Callbacks run by clear_caches so owners of derived caches (e.g.
+        # MapContext's frozen-snapshot cache) can drop them in lockstep.
+        self._clear_hooks: list[Callable[[], None]] = []
         # Instrumentation (see repro.perf).
         self.op_hits = 0
         self.op_misses = 0
@@ -781,6 +784,13 @@ class BddManager:
         self._ite_cache.clear()
         self._satcount_memo.clear()
         self._leaf_groups_memo.clear()
+        for hook in self._clear_hooks:
+            hook()
+
+    def register_clear_hook(self, hook: Callable[[], None]) -> None:
+        """Run ``hook`` whenever :meth:`clear_caches` drops the memo tables
+        (used by owners of caches derived from this manager's nodes)."""
+        self._clear_hooks.append(hook)
 
     def op_cache_size(self) -> int:
         """Total entries currently held across the operation memo tables."""

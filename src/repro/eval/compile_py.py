@@ -406,7 +406,11 @@ def _combine_op(memos: dict[Any, dict], fn: Any, m1: NVMap, m2: NVMap) -> NVMap:
 
 def _key(fn: Any) -> tuple:
     key = getattr(fn, "nv_cache_key", None)
-    return (key,) if key is not None else (id(fn),)
+    # Closures without nv_* metadata key on the function object itself, not
+    # id(fn): the memo table then keeps fn alive, so a collected closure's
+    # id can never be recycled onto a different function and serve it memo
+    # entries computed for the old one.
+    return (key,) if key is not None else (fn,)
 
 
 def _mapite_op(interp: Interpreter, memos: dict[Any, dict]):

@@ -31,7 +31,12 @@ class MapContext:
         self.manager = make_manager()
         self.encoder = Encoder(num_nodes, edges)
         self._domain_cache: dict[T.Type, int] = {}
+        # Frozen-snapshot cache (see freeze_value): pins a bytes blob and
+        # leaf tuple per frozen (root, key type), so it is dropped whenever
+        # the manager's caches are — long-lived analyses freezing many
+        # distinct roots must not accumulate snapshots forever.
         self._frozen_cache: dict[tuple[int, T.Type], "FrozenMap"] = {}
+        self.manager.register_clear_hook(self._frozen_cache.clear)
 
     def domain(self, key_ty: T.Type) -> int:
         """Cached validity BDD for a key type."""

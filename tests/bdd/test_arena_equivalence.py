@@ -181,6 +181,51 @@ def test_numpy_fallback_matches(program):
             os.environ["NV_BDD_NUMPY"] = old
 
 
+def test_apply2_reentrant_callback_keeps_canonicity():
+    """A combine callback may re-enter the manager (merge functions over
+    map-valued routes build nodes mid-apply2).  If that forces a
+    unique-table rehash, apply2's inlined node construction must probe the
+    *live* table — inserting into the pre-rehash array instead silently
+    mints duplicate ids for structurally identical nodes, breaking the
+    hash-consing identity NVMap equality and convergence checks rely on."""
+    import itertools
+
+    mgr = ArenaBddManager()
+    tags = itertools.count()
+
+    def fn(a, b):
+        # Allocate enough fresh nodes on the same manager to guarantee at
+        # least one unique-table rehash during this callback.
+        for _ in range(800):
+            mgr.mk(5, mgr.false, mgr.leaf(("pad", next(tags))))
+        return (a, b)
+
+    def build(m):
+        m1 = m.mk(0, m.leaf("x0"), m.mk(1, m.leaf("x1"), m.leaf("x2")))
+        m2 = m.mk(0, m.leaf("y0"), m.mk(1, m.leaf("y1"), m.leaf("y2")))
+        return m1, m2
+
+    m1, m2 = build(mgr)
+    r = mgr.apply2(fn, m1, m2)
+    # Re-running with a cold memo must reuse the consed nodes, not re-mint.
+    assert mgr.apply2(fn, m1, m2) == r
+    # Rebuilding the result's top node through mk finds the same id.
+    assert mgr.mk(mgr.level(r), mgr.lo(r), mgr.hi(r)) == r
+    # Global canonicity: no two internal nodes share a (level, lo, hi).
+    seen = {}
+    for n in range(mgr.size()):
+        if not mgr.is_leaf(n):
+            key = (mgr.level(n), mgr.lo(n), mgr.hi(n))
+            assert key not in seen, \
+                f"duplicate nodes {seen[key]} and {n} for {key}"
+            seen[key] = n
+    # And the result still matches the object-engine spec structurally.
+    spec = BddManager()
+    s1, s2 = build(spec)
+    s = spec.apply2(lambda a, b: (a, b), s1, s2)
+    assert mgr.snapshot(r) == spec.snapshot(s)
+
+
 def test_snapshots_are_cross_engine_identical():
     """The FrozenMap transport relies on byte-identical canonical blobs."""
     import pickle

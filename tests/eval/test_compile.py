@@ -113,3 +113,22 @@ class TestNetworkEquivalence:
         fc = compile_network_functions(net, symbolics={"route": None})
         assert "def " in fc.compiled_source
         assert fc.compile_seconds >= 0
+
+
+def test_memo_key_for_unkeyed_closure_is_the_function_itself():
+    """Closures without nv_cache_key must be memo-keyed on the function
+    object (which the memos dict then keeps alive), never on id(fn): a
+    recycled id would silently serve memo entries computed for a collected
+    closure to an unrelated new one."""
+    from repro.eval.compile_py import _key, _memo_for
+
+    def fn(x):
+        return x
+
+    assert _key(fn) == (fn,)
+    memos = {}
+    memo = _memo_for(memos, ("map", *_key(fn)))
+    memo["probe"] = 1
+    assert _memo_for(memos, ("map", *_key(fn))) is memo
+    # The key tuple in the memos dict holds a strong reference to fn.
+    assert any(fn in k for k in memos)

@@ -113,6 +113,23 @@ class TestBulkOps:
         assert m.to_dict() == {0: 0, 1: 9, 2: 0, 3: 0}
 
 
+class TestFreezeCache:
+    def test_frozen_cache_dropped_with_manager_caches(self, ctx):
+        """freeze_value memoises snapshots per (root, key type); the cache
+        pins bytes blobs for the context's lifetime, so it must be emptied
+        whenever the manager's memo tables are cleared."""
+        from repro.eval.maps import freeze_value
+
+        m = NVMap.create(ctx, T.TNode(), "none").set(2, "two")
+        f1 = freeze_value(m)
+        assert freeze_value(m) is f1  # memoised by identity while cached
+        assert ctx._frozen_cache
+        ctx.manager.clear_caches()
+        assert not ctx._frozen_cache  # dropped in lockstep with memo tables
+        f2 = freeze_value(m)
+        assert f2 == f1  # refreezing the same root is structurally stable
+
+
 class TestMapIteFromNv:
     def test_fig11_semantics(self):
         # fig 11: increment route lengths for keys > 3, drop others.
