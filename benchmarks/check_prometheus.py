@@ -13,6 +13,9 @@ Checks the invariants a real Prometheus scraper enforces:
 * every sample line parses as ``name[{labels}] value`` with a float value
   (``+Inf``/``-Inf``/``NaN`` accepted);
 * ``# TYPE`` appears at most once per metric and before its samples;
+* ``# HELP`` text and label values use only the 0.0.4 escape sequences
+  (``\\\\``, ``\\n``, and — in label values — ``\\"``; a lone backslash
+  followed by anything else corrupts a scrape);
 * histogram metrics expose ``_bucket`` series with non-decreasing cumulative
   counts, an ``le="+Inf"`` bucket, and matching ``_sum``/``_count`` series.
 """
@@ -32,6 +35,23 @@ _SAMPLE = re.compile(
 _LABEL = re.compile(
     r"\s*(?P<name>[a-zA-Z_][a-zA-Z0-9_]*)=\"(?P<value>(?:[^\"\\]|\\.)*)\"\s*")
 _VALID_TYPES = {"counter", "gauge", "histogram", "summary", "untyped"}
+
+#: Escape characters the 0.0.4 format permits after a backslash.
+_HELP_ESCAPES = frozenset("\\n")          # \\ and \n in HELP docstrings
+_LABEL_ESCAPES = frozenset('\\n"')        # plus \" in label values
+
+
+def _bad_escape(text: str, allowed: frozenset[str]) -> str | None:
+    """The first invalid backslash escape in ``text`` (None if clean)."""
+    i = 0
+    while i < len(text):
+        if text[i] == "\\":
+            if i + 1 >= len(text) or text[i + 1] not in allowed:
+                return text[i:i + 2]
+            i += 2
+        else:
+            i += 1
+    return None
 
 
 def _parse_value(text: str) -> float | None:
@@ -78,7 +98,20 @@ def validate_text(text: str) -> list[str]:
                     errors.append(
                         f"line {lineno}: TYPE for {name} after its samples")
                 types[name] = kind
-            continue  # HELP and other comments are free-form
+            elif len(parts) >= 2 and parts[1] == "HELP":
+                if len(parts) < 3:
+                    errors.append(f"line {lineno}: malformed HELP line")
+                    continue
+                name = parts[2]
+                if not _NAME.match(name):
+                    errors.append(f"line {lineno}: bad metric name {name!r}")
+                doc = parts[3] if len(parts) > 3 else ""
+                bad = _bad_escape(doc, _HELP_ESCAPES)
+                if bad is not None:
+                    errors.append(
+                        f"line {lineno}: invalid escape {bad!r} in HELP "
+                        f"text for {name} (only \\\\ and \\n are allowed)")
+            continue  # other comments are free-form
         m = _SAMPLE.match(line)
         if not m:
             errors.append(f"line {lineno}: unparseable sample {line!r}")
@@ -99,6 +132,11 @@ def validate_text(text: str) -> list[str]:
                     errors.append(
                         f"line {lineno}: bad label syntax in {raw!r}")
                     break
+                bad = _bad_escape(lm.group("value"), _LABEL_ESCAPES)
+                if bad is not None:
+                    errors.append(
+                        f"line {lineno}: invalid escape {bad!r} in label "
+                        f"value (only \\\\, \\\", \\n are allowed)")
                 labels[lm.group("name")] = lm.group("value")
                 pos = lm.end()
                 if pos < len(raw) and raw[pos] == ",":

@@ -33,7 +33,7 @@ from dataclasses import dataclass, field
 from time import perf_counter
 from typing import Any, Sequence
 
-from .. import metrics, obs, parallel, perf
+from .. import metrics, obs, parallel, perf, telemetry
 from ..eval.interp import Interpreter, program_env
 from ..eval.maps import MapContext, NVMap
 from ..lang import types as T
@@ -138,6 +138,7 @@ def fault_tolerance_analysis(net: Network,
     # Flush the diagram-engine work counters for this run (fig 13b reports
     # BDD op-cache hit rates alongside the scaling curve).
     perf.merge(ctx.manager.stats(), prefix="bdd.")
+    telemetry.flush(ctx.manager)
     perf.merge({"transform_seconds": transform_seconds,
                 "simulate_seconds": simulate_seconds}, prefix="fault.")
 

@@ -12,7 +12,7 @@ from dataclasses import dataclass
 from time import perf_counter
 from typing import Any, Sequence
 
-from .. import metrics, obs, parallel, perf
+from .. import metrics, obs, parallel, perf, telemetry
 from ..eval.compile_py import compile_network_functions
 from ..srp.network import Network, functions_from_program
 from ..srp.simulate import simulate
@@ -95,6 +95,9 @@ def run_simulation(net: Network, symbolics: dict[str, Any] | None = None,
 
     if funcs.ctx is not None:
         perf.merge(funcs.ctx.manager.stats(), prefix="bdd.")
+        telemetry.flush(funcs.ctx.manager)
+    else:
+        telemetry.flush()
     perf.merge({"setup_seconds": setup_seconds,
                 "simulate_seconds": simulate_seconds}, prefix="sim.")
 

@@ -135,6 +135,13 @@ class ArenaBddManager:
         self.op_misses = 0
         self.apply_hits = 0
         self.apply_misses = 0
+        # Table-health telemetry (flushed by repro.telemetry when
+        # NV_TELEMETRY is on): rehash/clear events are rare, so these plain
+        # increments are free; probe-length histograms are *recomputed* by
+        # scanning the tables on demand, never recorded per lookup.
+        self.unique_rehashes = 0
+        self.op_rehashes = 0
+        self.op_cache_clears = 0
         self._next_growth_sample = GROWTH_SAMPLE_INTERVAL
         metrics.register_weak_provider(
             f"bdd.arena.{next(_manager_ids)}", self, _live_gauges)
@@ -225,6 +232,7 @@ class ArenaBddManager:
         return node
 
     def _grow_unique(self) -> None:
+        self.unique_rehashes += 1
         cap = self._unique_cap * 2
         table = array("i", [-1]) * cap
         mask = cap - 1
@@ -389,7 +397,9 @@ class ArenaBddManager:
             cap = self._not_cap
             self._not_keys = array("i", [-1]) * cap
             self._not_n = 0
+            self.op_cache_clears += 1
         elif 3 * self._not_n > 2 * self._not_cap:
+            self.op_rehashes += 1
             self._not_keys, self._not_vals, self._not_cap = _rehash(
                 self._not_keys, self._not_vals, self._not_cap, "i")
         keys = self._not_keys
@@ -449,7 +459,9 @@ class ArenaBddManager:
         if self._and_n >= self.op_cache_limit:
             self._and_keys = array("q", [-1]) * self._and_cap
             self._and_n = 0
+            self.op_cache_clears += 1
         elif 3 * self._and_n > 2 * self._and_cap:
+            self.op_rehashes += 1
             self._and_keys, self._and_vals, self._and_cap = _rehash(
                 self._and_keys, self._and_vals, self._and_cap, "q")
         keys = self._and_keys
@@ -506,7 +518,9 @@ class ArenaBddManager:
         if self._xor_n >= self.op_cache_limit:
             self._xor_keys = array("q", [-1]) * self._xor_cap
             self._xor_n = 0
+            self.op_cache_clears += 1
         elif 3 * self._xor_n > 2 * self._xor_cap:
+            self.op_rehashes += 1
             self._xor_keys, self._xor_vals, self._xor_cap = _rehash(
                 self._xor_keys, self._xor_vals, self._xor_cap, "q")
         keys = self._xor_keys
@@ -563,7 +577,9 @@ class ArenaBddManager:
             self._ite_keys1 = array("q", [-1]) * cap
             self._ite_keys2 = array("i", [0]) * cap
             self._ite_n = 0
+            self.op_cache_clears += 1
         elif 3 * self._ite_n > 2 * self._ite_cap:
+            self.op_rehashes += 1
             cap = self._ite_cap * 2
             mask = cap - 1
             k1 = array("q", [-1]) * cap
@@ -1322,6 +1338,106 @@ class ArenaBddManager:
             "apply_cache_hits": self.apply_hits,
             "apply_cache_misses": self.apply_misses,
         }
+
+    # ------------------------------------------------------------------
+    # Kernel telemetry (NV_TELEMETRY; see repro.telemetry)
+    # ------------------------------------------------------------------
+
+    def probe_length_counts(self) -> dict[str, dict[int, int]]:
+        """Exact probe-length distributions (``length -> entries``) of the
+        unique table and every op cache, recomputed by scanning the tables.
+
+        Linear probing with stride 1 and no deletions means an entry at
+        slot ``s`` whose key hashes to home slot ``h`` is found after
+        ``((s - h) mod cap) + 1`` probes — so the distribution is
+        recoverable from the table alone, with zero hot-path bookkeeping.
+        The home-slot computations below must mirror the probe sites
+        (``mk``/``bnot``/``band``/``bxor``/``bite``) exactly;
+        ``tests/bdd/test_telemetry.py`` cross-checks them against a
+        brute-force re-probe of every stored key.
+        """
+        counts: dict[int, int] = {}
+        table = self._unique
+        cap = self._unique_cap
+        mask = cap - 1
+        var_a, lo_a, hi_a = self._var, self._lo, self._hi
+        for s in range(cap):
+            n = table[s]
+            if n < 0:
+                continue
+            h = (lo_a[n] * 461845907 + hi_a[n] * 433494437 + var_a[n]) & mask
+            d = ((s - h) & mask) + 1
+            counts[d] = counts.get(d, 0) + 1
+        return {
+            "unique": counts,
+            "op_not": _probe_counts_single(self._not_keys, self._not_cap),
+            "op_and": _probe_counts_packed(self._and_keys, self._and_cap),
+            "op_xor": _probe_counts_packed(self._xor_keys, self._xor_cap),
+            "op_ite": _probe_counts_ite(self._ite_keys1, self._ite_keys2,
+                                        self._ite_cap),
+        }
+
+    def telemetry(self) -> tuple[dict[str, int], dict[str, Any]]:
+        """``(counters, histograms)`` for :func:`repro.telemetry.flush_manager`:
+        rehash/clear event counts plus log2 probe-length histograms."""
+        from .. import telemetry as _telemetry
+
+        counters = {
+            "unique_rehashes": self.unique_rehashes,
+            "op_rehashes": self.op_rehashes,
+            "op_cache_clears": self.op_cache_clears,
+        }
+        hists = {
+            f"{name}_probe_len": _telemetry.histogram_from_counts(c)
+            for name, c in self.probe_length_counts().items() if c
+        }
+        return counters, hists
+
+
+def _probe_counts_single(keys, cap: int) -> dict[int, int]:
+    """Probe-length counts of a single-int-key op table (home slot
+    ``key * _MULT_A & mask`` — the ``bnot`` probe site)."""
+    mask = cap - 1
+    counts: dict[int, int] = {}
+    for s in range(cap):
+        k = keys[s]
+        if k < 0:
+            continue
+        h = k * _MULT_A & mask
+        d = ((s - h) & mask) + 1
+        counts[d] = counts.get(d, 0) + 1
+    return counts
+
+
+def _probe_counts_packed(keys, cap: int) -> dict[int, int]:
+    """Probe-length counts of a packed-pair op table (home slot
+    ``(a * _MULT_A + b * _MULT_B) & mask`` — the ``band``/``bxor`` sites)."""
+    mask = cap - 1
+    counts: dict[int, int] = {}
+    for s in range(cap):
+        k = keys[s]
+        if k < 0:
+            continue
+        h = ((k >> _KEY_SHIFT) * _MULT_A + (k & _KEY_MASK) * _MULT_B) & mask
+        d = ((s - h) & mask) + 1
+        counts[d] = counts.get(d, 0) + 1
+    return counts
+
+
+def _probe_counts_ite(keys1, keys2, cap: int) -> dict[int, int]:
+    """Probe-length counts of the three-operand ite table (home slot
+    ``(c * _MULT_A + t * _MULT_B + e * _MULT_C) & mask``)."""
+    mask = cap - 1
+    counts: dict[int, int] = {}
+    for s in range(cap):
+        k1 = keys1[s]
+        if k1 < 0:
+            continue
+        h = ((k1 >> _KEY_SHIFT) * _MULT_A + (k1 & _KEY_MASK) * _MULT_B
+             + keys2[s] * _MULT_C) & mask
+        d = ((s - h) & mask) + 1
+        counts[d] = counts.get(d, 0) + 1
+    return counts
 
 
 def _rehash(keys, vals, cap: int, key_typecode: str):

@@ -809,3 +809,23 @@ class BddManager:
             "apply_cache_hits": self.apply_hits,
             "apply_cache_misses": self.apply_misses,
         }
+
+    def telemetry(self) -> tuple[dict[str, int], dict[str, Any]]:
+        """``(counters, histograms)`` for :func:`repro.telemetry.flush_manager`.
+
+        The object engine's tables are CPython dicts, whose probing is
+        invisible from Python — the comparable health signal is the *size*
+        profile of each table (one observation per table into a shared
+        ``table_entries`` histogram) plus per-table entry counters, so an
+        arena-vs-object run diff lines the two engines' table shapes up."""
+        sizes = {
+            "table_unique_entries": len(self._unique),
+            "table_leaf_entries": len(self._leaf_table),
+            "table_op_not_entries": len(self._not_cache),
+            "table_op_and_entries": len(self._and_cache),
+            "table_op_xor_entries": len(self._xor_cache),
+            "table_op_ite_entries": len(self._ite_cache),
+        }
+        hist = metrics.Histogram.from_values(
+            v for v in sizes.values() if v)
+        return dict(sizes), {"table_entries": hist}

@@ -25,6 +25,7 @@ from dataclasses import dataclass, field
 from time import perf_counter
 from typing import Any
 
+from .. import telemetry
 from ..lang import ast as A
 from ..lang import types as T
 from ..lang.errors import NvEncodingError, NvRuntimeError
@@ -383,8 +384,49 @@ def _memo_for(memos: dict[Any, dict], key: Any) -> dict:
     return memo
 
 
+# Per-call-site memo hit-rate attribution (NV_TELEMETRY).  Each semantic
+# diagram op (__map_op / __combine_op / __mapite_op) runs once per AST call
+# site per invocation, so sampling the manager's apply_hits/apply_misses
+# around the op and charging the delta to the site label is exact and adds
+# zero per-node cost; disabled, each op pays one boolean check.
+_site_stats: dict[str, list[int]] = {}
+
+
+def take_site_stats() -> dict[str, tuple[int, int, int]]:
+    """Snapshot-and-clear ``site -> (calls, hits, misses)`` accumulated
+    while telemetry was enabled (see :func:`repro.telemetry.flush_call_sites`)."""
+    out = {site: (c[0], c[1], c[2]) for site, c in _site_stats.items()}
+    _site_stats.clear()
+    return out
+
+
+def _site_label(kind: str, fn: Any) -> str:
+    key = getattr(fn, "nv_cache_key", None)
+    if key is not None:
+        try:
+            return f"{kind}:ast{key[0]}"
+        except (TypeError, IndexError):
+            return f"{kind}:{key!r}"
+    return f"{kind}:{getattr(fn, '__name__', 'fn')}"
+
+
+def _charge_site(site: str, manager: Any, hits0: int, misses0: int) -> None:
+    cell = _site_stats.get(site)
+    if cell is None:
+        cell = _site_stats[site] = [0, 0, 0]
+    cell[0] += 1
+    cell[1] += manager.apply_hits - hits0
+    cell[2] += manager.apply_misses - misses0
+
+
 def _map_op(memos: dict[Any, dict], fn: Any, m: NVMap) -> NVMap:
-    return m.map(fn, _memo_for(memos, ("map", *_key(fn))))
+    if not telemetry.is_enabled():
+        return m.map(fn, _memo_for(memos, ("map", *_key(fn))))
+    mgr = m.ctx.manager
+    hits0, misses0 = mgr.apply_hits, mgr.apply_misses
+    out = m.map(fn, _memo_for(memos, ("map", *_key(fn))))
+    _charge_site(_site_label("map", fn), mgr, hits0, misses0)
+    return out
 
 
 def _combine_op(memos: dict[Any, dict], fn: Any, m1: NVMap, m2: NVMap) -> NVMap:
@@ -401,7 +443,13 @@ def _combine_op(memos: dict[Any, dict], fn: Any, m1: NVMap, m2: NVMap) -> NVMap:
             partial[id(x)] = fx
         return fx(y)
 
-    return m1.combine(fn2, m2, _memo_for(memos, ("combine", *_key(fn))))
+    if not telemetry.is_enabled():
+        return m1.combine(fn2, m2, _memo_for(memos, ("combine", *_key(fn))))
+    mgr = m1.ctx.manager
+    hits0, misses0 = mgr.apply_hits, mgr.apply_misses
+    out = m1.combine(fn2, m2, _memo_for(memos, ("combine", *_key(fn))))
+    _charge_site(_site_label("combine", fn), mgr, hits0, misses0)
+    return out
 
 
 def _key(fn: Any) -> tuple:
@@ -422,9 +470,17 @@ def _mapite_op(interp: Interpreter, memos: dict[Any, dict]):
         pred_bdd = interp.predicate_bdd(pred, m.key_ty)
         memo = _memo_for(
             memos, ("mapite", *_key(fn_true), *_key(fn_false)))
-        return m.map_ite(pred_bdd, fn_true, fn_false, memo,
-                         _memo_for(memos, ("map", *_key(fn_true))),
-                         _memo_for(memos, ("map", *_key(fn_false))))
+        if not telemetry.is_enabled():
+            return m.map_ite(pred_bdd, fn_true, fn_false, memo,
+                             _memo_for(memos, ("map", *_key(fn_true))),
+                             _memo_for(memos, ("map", *_key(fn_false))))
+        mgr = m.ctx.manager
+        hits0, misses0 = mgr.apply_hits, mgr.apply_misses
+        out = m.map_ite(pred_bdd, fn_true, fn_false, memo,
+                        _memo_for(memos, ("map", *_key(fn_true))),
+                        _memo_for(memos, ("map", *_key(fn_false))))
+        _charge_site(_site_label("mapite", fn_true), mgr, hits0, misses0)
+        return out
     return run
 
 

@@ -448,12 +448,30 @@ def _prom_num(value: float) -> str:
     return str(int(value))
 
 
+def _esc_help(text: str) -> str:
+    """Escape HELP docstring text per the 0.0.4 exposition format:
+    backslash and line feed only (quotes are NOT escaped in HELP)."""
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _esc_label(value: str) -> str:
+    """Escape a label value per the 0.0.4 exposition format: backslash,
+    double-quote, and line feed."""
+    return (value.replace("\\", "\\\\")
+                 .replace('"', '\\"')
+                 .replace("\n", "\\n"))
+
+
 def to_prometheus(snap: Mapping[str, Any] | None = None) -> str:
     """Render a snapshot in the Prometheus text exposition format (0.0.4).
 
     Perf counters become ``counter`` samples, gauges become ``gauge``
     samples, histograms become the standard ``_bucket``/``_sum``/``_count``
-    triple with cumulative ``le`` labels.
+    triple with cumulative ``le`` labels.  Metric names are sanitised by
+    :func:`_prom_name`; the raw (unsanitised) name rides along in the HELP
+    text and so must be escaped per the spec (0.0.4: ``\\`` and newline in
+    HELP, plus ``"`` in label values) — NV identifiers can contain quotes
+    and backslashes via record projections and symbolic names.
     """
     if snap is None:
         snap = snapshot()
@@ -461,21 +479,22 @@ def to_prometheus(snap: Mapping[str, Any] | None = None) -> str:
     for name, value in sorted(snap.get("counters", {}).items()):
         pname = _prom_name(name)
         kind = "counter"
-        lines.append(f"# HELP {pname} repro.perf counter {name}")
+        lines.append(f"# HELP {pname} repro.perf counter {_esc_help(name)}")
         lines.append(f"# TYPE {pname} {kind}")
         lines.append(f"{pname} {_prom_num(value)}")
     for name, value in sorted(snap.get("gauges", {}).items()):
         pname = _prom_name(name)
-        lines.append(f"# HELP {pname} repro.metrics gauge {name}")
+        lines.append(f"# HELP {pname} repro.metrics gauge {_esc_help(name)}")
         lines.append(f"# TYPE {pname} gauge")
         lines.append(f"{pname} {_prom_num(value)}")
     for name, hist in sorted(snap.get("histograms", {}).items()):
         data = hist.to_dict() if isinstance(hist, Histogram) else hist
         pname = _prom_name(name)
-        lines.append(f"# HELP {pname} repro.metrics histogram {name}")
+        lines.append(f"# HELP {pname} repro.metrics histogram {_esc_help(name)}")
         lines.append(f"# TYPE {pname} histogram")
         for le, cum in data.get("buckets", []):
-            lines.append(f'{pname}_bucket{{le="{_prom_num(le)}"}} {cum}')
+            lines.append(
+                f'{pname}_bucket{{le="{_esc_label(_prom_num(le))}"}} {cum}')
         lines.append(f'{pname}_bucket{{le="+Inf"}} {data.get("count", 0)}')
         lines.append(f"{pname}_sum {data.get('sum', 0.0)}")
         lines.append(f"{pname}_count {data.get('count', 0)}")

@@ -45,13 +45,14 @@ import tracemalloc
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from pathlib import Path
-from time import perf_counter
+from time import perf_counter, time
 from typing import Any, Iterator, TextIO
 
 from . import perf
 
 _enabled: bool = False
 _origin: float = 0.0
+_origin_epoch: float = 0.0
 _sink: TextIO | None = None
 _owns_sink: bool = False
 _track_memory: bool = False
@@ -90,8 +91,15 @@ class Span:
 
 def enable(jsonl: str | Path | TextIO | None = None) -> None:
     """Turn tracing on.  ``jsonl`` optionally names a file (or supplies an
-    open text stream) that receives one JSON record per span/event."""
-    global _enabled, _origin, _sink, _owns_sink
+    open text stream) that receives one JSON record per span/event.
+
+    A sink's first record is a ``meta`` header carrying the wall-clock
+    epoch at which the trace timeline's ``t = 0`` fell.  Relative ``t``
+    values keep every in-trace consumer simple; the header lets *cross*
+    -trace consumers (the run-record differ, :func:`ingest` merging a
+    worker's trace) line two timelines up on the wall clock.
+    """
+    global _enabled, _origin, _origin_epoch, _sink, _owns_sink
     if jsonl is None:
         _sink, _owns_sink = None, False
     elif hasattr(jsonl, "write"):
@@ -99,7 +107,15 @@ def enable(jsonl: str | Path | TextIO | None = None) -> None:
     else:
         _sink, _owns_sink = open(jsonl, "w", encoding="utf-8"), True
     _origin = perf_counter()
+    _origin_epoch = time()
     _enabled = True
+    _write({"type": "meta", "t_epoch": round(_origin_epoch, 6), "version": 1})
+
+
+def origin_epoch() -> float:
+    """Wall-clock (Unix) time of the trace timeline's origin; 0.0 before
+    the first :func:`enable`."""
+    return _origin_epoch
 
 
 def disable() -> None:
@@ -246,7 +262,7 @@ def now() -> float:
     return (perf_counter() - _origin) if _enabled else 0.0
 
 
-def ingest(records: list[dict[str, Any]], t_offset: float = 0.0,
+def ingest(records: list[dict[str, Any]], t_offset: float | None = None,
            **extra_attrs: Any) -> None:
     """Re-emit pre-serialised trace records into the current sink.
 
@@ -258,10 +274,22 @@ def ingest(records: list[dict[str, Any]], t_offset: float = 0.0,
     rewritten consistently, ``t``/``t0`` are shifted by ``t_offset`` (the
     parent-timeline instant the worker's clock started), and
     ``extra_attrs`` (e.g. ``proc=3``) are stamped onto every record.
-    No-op when tracing is disabled.
+
+    When ``t_offset`` is omitted it is derived from the records' ``meta``
+    header: the worker's ``t_epoch`` minus this trace's origin epoch is the
+    wall-clock skew between the two timelines (0.0 if the records carry no
+    header).  ``meta`` headers are consumed here, not re-emitted — the
+    merged trace keeps its single header.  No-op when tracing is disabled.
     """
     if not _enabled:
         return
+    if t_offset is None:
+        t_offset = 0.0
+        for rec in records:
+            if rec.get("type") == "meta" and "t_epoch" in rec:
+                if _origin_epoch:
+                    t_offset = float(rec["t_epoch"]) - _origin_epoch
+                break
     id_map: dict[int, int] = {0: 0}
 
     def remap(old: Any) -> int:
@@ -272,6 +300,8 @@ def ingest(records: list[dict[str, Any]], t_offset: float = 0.0,
         return new
 
     for rec in records:
+        if rec.get("type") == "meta":
+            continue  # consumed above; the merged trace keeps one header
         rec = dict(rec)
         if "id" in rec:
             rec["id"] = remap(rec["id"])

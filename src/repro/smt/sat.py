@@ -29,9 +29,10 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
+from time import perf_counter
 from typing import Iterable, Sequence
 
-from .. import metrics, obs
+from .. import metrics, obs, telemetry
 
 #: Emit a ``sat.progress`` timeline event every this many conflicts while
 #: tracing (see :mod:`repro.obs`); restarts are always emitted.
@@ -211,6 +212,12 @@ class SatSolver:
         self.max_learnts = 4000
         self.num_attached = 0    # clause-DB size: problem + learnt clauses
         self._trace = False      # hoisted obs.is_enabled(); set by solve()
+        self._telemetry = False  # hoisted telemetry.is_enabled(); set by solve()
+        # Interval marks for restart-to-restart telemetry deltas.
+        self._int_t = 0.0
+        self._int_conflicts = 0
+        self._int_propagations = 0
+        self._int_decisions = 0
         for clause in clauses:
             self.add_clause(clause)
 
@@ -580,6 +587,12 @@ class SatSolver:
             self.ok = False
             return False
         self._trace = obs.is_enabled()
+        self._telemetry = telemetry.is_enabled()
+        if self._telemetry:
+            self._int_t = perf_counter()
+            self._int_conflicts = self.conflicts
+            self._int_propagations = self.propagations
+            self._int_decisions = self.decisions
         # While solving, expose live structural gauges to the metrics
         # sampler (no-op returning a no-op when metrics are disabled).
         unregister = metrics.register_provider("sat", self.live_gauges)
@@ -587,6 +600,8 @@ class SatSolver:
             return self._solve_loop(max_conflicts)
         finally:
             unregister()
+            if self._telemetry:
+                self._telemetry_interval(final=True)
             if metrics.is_enabled() and self.lbd:
                 # Final LBD distribution for the post-run snapshot/report.
                 metrics.record_histogram(
@@ -609,7 +624,35 @@ class SatSolver:
                           conflicts=self.conflicts, decisions=self.decisions,
                           learnts=len(self.learnts),
                           next_budget=self.restart_base * _luby(restart_idx))
+            if self._telemetry:
+                self._telemetry_interval()
             self._backjump(0)
+
+    def _telemetry_interval(self, final: bool = False) -> None:
+        """Record restart-to-restart (or solve-final) progress deltas into
+        :mod:`repro.metrics` histograms (NV_TELEMETRY): per-interval
+        conflict/propagation/decision counts and their rates per second.
+        Restart intervals are where CDCL pathologies show up — a healthy
+        search keeps the conflict rate roughly flat across intervals, while
+        a thrashing one shows propagation rate collapsing as the learnt DB
+        bloats."""
+        now = perf_counter()
+        dt = now - self._int_t
+        d_conf = self.conflicts - self._int_conflicts
+        d_prop = self.propagations - self._int_propagations
+        d_dec = self.decisions - self._int_decisions
+        if final and d_conf == 0 and d_prop == 0 and d_dec == 0:
+            return  # empty tail interval (e.g. solved without restarting twice)
+        metrics.observe("sat.interval_conflicts", d_conf)
+        metrics.observe("sat.interval_propagations", d_prop)
+        metrics.observe("sat.interval_decisions", d_dec)
+        if dt > 0:
+            metrics.observe("sat.conflict_rate_per_s", d_conf / dt)
+            metrics.observe("sat.propagation_rate_per_s", d_prop / dt)
+        self._int_t = now
+        self._int_conflicts = self.conflicts
+        self._int_propagations = self.propagations
+        self._int_decisions = self.decisions
 
     def _search(self, budget: int, max_conflicts: int | None) -> bool | None:
         local_conflicts = 0

@@ -1,0 +1,123 @@
+"""Kernel-depth telemetry behind the ``NV_TELEMETRY`` flag.
+
+:mod:`repro.perf` counts *how much* work each layer did; this module
+answers *why the kernels behave the way they do*: open-addressed
+probe-length and rehash-count distributions inside the arena BDD engine,
+dict-size profiles of the object engine, per-call-site memo hit-rate
+attribution in the compiled evaluator, and propagation/conflict-rate
+interval deltas in the CDCL core.  PR 6's fig13b diagnosis had to be
+reconstructed with ad-hoc microbenchmarks; these signals make the next
+kernel investigation a matter of reading a run report.
+
+Design rule (the same contract as :mod:`repro.perf`/:mod:`repro.obs`,
+enforced by ``tests/bdd/test_telemetry.py``): **zero cost on the hot
+path when disabled** — and, for the probe-length histograms, effectively
+zero cost when *enabled* too.  Probe lengths are never recorded per
+lookup; they are recomputed on demand by scanning the tables (linear
+probing with stride 1 and no deletions means an entry's probe length is
+its displacement from its home slot plus one), so ``apply2``'s bytecode
+is untouched either way.  The only always-on additions are plain integer
+increments on the rare rehash/clear paths.
+
+Enable with ``NV_TELEMETRY=1`` (read at import; tests flip it with
+:func:`enable`/:func:`disable` or the :func:`enabled` context manager).
+Flush points: the analysis drivers call :func:`flush_manager` /
+:func:`flush_call_sites` next to their existing ``perf.merge`` flushes,
+so telemetry lands in the same snapshot the observatory records.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from typing import Any, Iterator, Mapping
+
+from . import metrics, perf
+
+_enabled: bool = os.environ.get("NV_TELEMETRY", "").strip() not in ("", "0")
+
+
+def is_enabled() -> bool:
+    return _enabled
+
+
+def enable() -> None:
+    global _enabled
+    _enabled = True
+
+
+def disable() -> None:
+    global _enabled
+    _enabled = False
+
+
+@contextmanager
+def enabled(on: bool = True) -> Iterator[None]:
+    """Context manager: set the telemetry flag, restoring on exit."""
+    global _enabled
+    prev = _enabled
+    _enabled = on
+    try:
+        yield
+    finally:
+        _enabled = prev
+
+
+def histogram_from_counts(counts: Mapping[int, int]) -> metrics.Histogram:
+    """Build a log2-bucketed :class:`~repro.metrics.Histogram` from exact
+    ``value -> occurrences`` counts (no per-observation loop)."""
+    h = metrics.Histogram()
+    for value, n in counts.items():
+        if n <= 0:
+            continue
+        b = h.bucket_of(value)
+        h.counts[b] = h.counts.get(b, 0) + n
+        h.count += n
+        h.sum += float(value) * n
+    return h
+
+
+def flush_manager(manager: Any, prefix: str = "bdd.") -> None:
+    """Flush a BDD manager's kernel telemetry (probe-length / table-size
+    histograms into :mod:`repro.metrics`, rehash counters into
+    :mod:`repro.perf`).  No-op when telemetry is disabled or the manager
+    predates the telemetry API."""
+    if not _enabled:
+        return
+    tele = getattr(manager, "telemetry", None)
+    if tele is None:
+        return
+    counters, hists = tele()
+    if counters:
+        perf.merge(counters, prefix=prefix)
+    for name, hist in hists.items():
+        metrics.record_histogram(prefix + name, hist)
+
+
+def flush_call_sites(prefix: str = "memo.") -> None:
+    """Flush (and reset) the compiled evaluator's per-call-site memo
+    hit-rate attribution into :mod:`repro.perf` counters and a hit-rate
+    histogram.  No-op when telemetry is disabled or nothing was compiled."""
+    if not _enabled:
+        return
+    from .eval import compile_py  # deferred: compile_py imports this module
+
+    stats = compile_py.take_site_stats()
+    for site, (calls, hits, misses) in stats.items():
+        perf.merge({f"{prefix}{site}.calls": calls,
+                    f"{prefix}{site}.hits": hits,
+                    f"{prefix}{site}.misses": misses})
+        total = hits + misses
+        if total:
+            metrics.observe(f"{prefix}site_hit_rate_pct",
+                            round(100.0 * hits / total, 3))
+
+
+def flush(manager: Any | None = None, prefix: str = "bdd.") -> None:
+    """Convenience: flush a manager (when given) plus the compiled
+    evaluator's call-site stats in one call."""
+    if not _enabled:
+        return
+    if manager is not None:
+        flush_manager(manager, prefix=prefix)
+    flush_call_sites()

@@ -129,7 +129,8 @@ class TestObservability:
         records = [json.loads(line) for line in
                    trace.read_text().strip().splitlines()]
         kinds = {r["type"] for r in records}
-        assert kinds == {"span", "event"}
+        assert kinds == {"meta", "span", "event"}
+        assert records[0]["type"] == "meta"  # epoch header comes first
         spans = {r["name"] for r in records if r["type"] == "span"}
         assert {"simulate", "frontend.parse", "sim.simulate"} <= spans
         events = {r["name"] for r in records if r["type"] == "event"}

@@ -287,3 +287,70 @@ class TestLiveSubsystemGauges:
         interner.intern((1, 2))
         stats = interner.stats()
         assert stats == {"interned": 1, "intern_hits": 1, "intern_misses": 1}
+
+
+class TestPrometheusEscaping:
+    """The raw metric name rides along in HELP text, so names containing
+    backslashes or newlines (NV record projections, symbolic names) must be
+    escaped per the 0.0.4 exposition format — and the CI validator in
+    benchmarks/check_prometheus.py must agree with the exporter."""
+
+    def _validate(self, text):
+        import importlib.util
+        from pathlib import Path
+        spec = importlib.util.spec_from_file_location(
+            "check_prometheus",
+            Path(__file__).resolve().parents[1]
+            / "benchmarks" / "check_prometheus.py")
+        mod = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(mod)
+        return mod.validate_text(text)
+
+    def test_help_escapes_backslash_and_newline(self):
+        perf.enable()
+        perf.incr('sym.a\\b\nc', 1)
+        text = metrics.to_prometheus()
+        (help_line,) = [l for l in text.splitlines()
+                        if l.startswith("# HELP") and "sym" in l]
+        assert "\\\\" in help_line          # literal backslash escaped
+        assert "\\n" in help_line           # newline escaped
+        assert "\n" not in help_line        # no raw newline survives
+        assert self._validate(text) == []
+
+    def test_help_does_not_escape_quotes(self):
+        # 0.0.4: quotes are escaped in label values only, not in HELP text.
+        perf.enable()
+        perf.incr('sym."quoted"', 1)
+        text = metrics.to_prometheus()
+        (help_line,) = [l for l in text.splitlines()
+                        if l.startswith("# HELP") and "quoted" in l]
+        assert '"quoted"' in help_line
+        assert '\\"' not in help_line
+        assert self._validate(text) == []
+
+    def test_exporter_output_validates(self):
+        perf.enable()
+        metrics.enable()
+        perf.incr("sim.messages", 3)
+        metrics.set_gauge("bdd.fill", 0.5)
+        metrics.observe_many("sat.lbd", [1, 2, 8])
+        assert self._validate(metrics.to_prometheus()) == []
+
+    def test_validator_rejects_bad_help_escape(self):
+        bad = "# HELP nv_x docs with bad \\q escape\n# TYPE nv_x counter\nnv_x 1\n"
+        assert any("invalid escape" in e for e in self._validate(bad))
+
+    def test_validator_rejects_bad_label_escape(self):
+        bad = ('# TYPE nv_h histogram\n'
+               'nv_h_bucket{le="1\\q"} 1\n'
+               'nv_h_bucket{le="+Inf"} 1\n'
+               'nv_h_sum 1\nnv_h_count 1\n')
+        assert any("invalid escape" in e for e in self._validate(bad))
+
+    def test_validator_accepts_legal_label_escapes(self):
+        good = ('# TYPE nv_h histogram\n'
+                'nv_h_bucket{le="1"} 1\n'
+                'nv_h_bucket{le="+Inf"} 1\n'
+                'nv_h_sum 1\nnv_h_count 1\n'
+                'nv_l{tag="a\\\\b\\"c\\nd"} 2\n')
+        assert self._validate(good) == []

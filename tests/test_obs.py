@@ -26,6 +26,13 @@ def clean_tracer():
     perf.reset()
 
 
+def _sink_records(sink):
+    """Parsed sink records minus the meta header ``enable()`` writes."""
+    records = [json.loads(line) for line in
+               sink.getvalue().strip().splitlines()]
+    return [r for r in records if r.get("type") != "meta"]
+
+
 class TestDisabled:
     def test_span_yields_none(self):
         with obs.span("x") as sp:
@@ -116,8 +123,7 @@ class TestJsonl:
             with obs.span("inner"):
                 pass
         obs.disable()
-        records = [json.loads(line) for line in
-                   sink.getvalue().strip().splitlines()]
+        records = _sink_records(sink)
         assert len(records) == 3
         by_type = {}
         for r in records:
@@ -139,8 +145,7 @@ class TestJsonl:
         with obs.span("s", obj=frozenset({1})):
             pass
         obs.disable()
-        (rec,) = [json.loads(line) for line in
-                  sink.getvalue().strip().splitlines()]
+        (rec,) = _sink_records(sink)
         assert rec["attrs"]["obj"] == repr(frozenset({1}))
 
     def test_file_sink_owned_and_closed(self, tmp_path):
@@ -148,8 +153,10 @@ class TestJsonl:
         with obs.session(jsonl=path):
             with obs.span("s"):
                 pass
-        lines = path.read_text().strip().splitlines()
-        assert [json.loads(line)["name"] for line in lines] == ["s"]
+        records = [json.loads(line)
+                   for line in path.read_text().strip().splitlines()]
+        assert [r["name"] for r in records
+                if r.get("type") != "meta"] == ["s"]
 
 
 class TestSession:
@@ -248,8 +255,7 @@ class TestJsonableContainers:
                       table={"a": 1, "b": [True, None]}):
             pass
         obs.disable()
-        (rec,) = [json.loads(line) for line in
-                  sink.getvalue().strip().splitlines()]
+        (rec,) = _sink_records(sink)
         assert rec["attrs"]["buckets"] == [[1, 2], [4, 5]]
         assert rec["attrs"]["pair"] == [1, "two"]  # tuples become arrays
         assert rec["attrs"]["table"] == {"a": 1, "b": [True, None]}
@@ -276,8 +282,7 @@ class TestFlushPartial:
         with obs.span("outer"):
             with obs.span("inner.open", stage=3):
                 obs.flush_partial()
-                partials = [json.loads(line) for line in
-                            sink.getvalue().strip().splitlines()]
+                partials = _sink_records(sink)
         assert {p["name"] for p in partials} == {"outer", "inner.open"}
         assert all(p["partial"] is True for p in partials)
         (inner,) = [p for p in partials if p["name"] == "inner.open"]
@@ -285,8 +290,7 @@ class TestFlushPartial:
         assert inner["dur"] >= 0.0
         obs.disable()
         # The spans close normally afterwards: complete records supersede.
-        all_recs = [json.loads(line) for line in
-                    sink.getvalue().strip().splitlines()]
+        all_recs = _sink_records(sink)
         complete = [r for r in all_recs if not r.get("partial")]
         assert {r["name"] for r in complete} == {"outer", "inner.open"}
 
@@ -365,3 +369,62 @@ class TestRenderTree:
         full = obs.render_tree(max_children=0)
         assert "more children" not in full
         assert "c11" in full
+
+
+class TestMetaHeader:
+    def test_enable_writes_epoch_header_first(self):
+        sink = io.StringIO()
+        before = __import__("time").time()
+        obs.enable(jsonl=sink)
+        with obs.span("s"):
+            pass
+        obs.disable()
+        first = json.loads(sink.getvalue().splitlines()[0])
+        assert first["type"] == "meta"
+        assert first["version"] == 1
+        assert before - 1 <= first["t_epoch"] <= before + 60
+        assert first["t_epoch"] == round(obs.origin_epoch(), 6)
+
+    def test_no_sink_no_header_but_epoch_tracked(self):
+        obs.enable()
+        assert obs.origin_epoch() > 0
+
+    def test_ingest_derives_offset_from_worker_meta(self):
+        sink = io.StringIO()
+        obs.enable(jsonl=sink)
+        # A worker whose clock started 2.5s after this trace's origin.
+        worker = [
+            {"type": "meta", "t_epoch": obs.origin_epoch() + 2.5,
+             "version": 1},
+            {"type": "span", "id": 1, "parent": 0, "name": "w",
+             "t0": 0.25, "dur": 0.5},
+        ]
+        obs.ingest(worker, proc=3)
+        (rec,) = [r for r in _sink_records(sink) if r.get("name") == "w"]
+        assert rec["t0"] == pytest.approx(2.75, abs=1e-6)
+        assert rec["attrs"]["proc"] == 3
+        # The worker's meta header is consumed, not re-emitted: the merged
+        # trace keeps exactly one header.
+        headers = [json.loads(line) for line in
+                   sink.getvalue().strip().splitlines()]
+        assert sum(1 for r in headers if r.get("type") == "meta") == 1
+
+    def test_ingest_explicit_offset_wins_over_meta(self):
+        sink = io.StringIO()
+        obs.enable(jsonl=sink)
+        worker = [
+            {"type": "meta", "t_epoch": obs.origin_epoch() + 99.0,
+             "version": 1},
+            {"type": "event", "id": 1, "span": 0, "name": "e", "t": 0.1},
+        ]
+        obs.ingest(worker, t_offset=1.0)
+        (rec,) = [r for r in _sink_records(sink) if r.get("name") == "e"]
+        assert rec["t"] == pytest.approx(1.1, abs=1e-6)
+
+    def test_ingest_without_meta_defaults_to_zero_offset(self):
+        sink = io.StringIO()
+        obs.enable(jsonl=sink)
+        obs.ingest([{"type": "event", "id": 1, "span": 0, "name": "e",
+                     "t": 0.4}])
+        (rec,) = [r for r in _sink_records(sink) if r.get("name") == "e"]
+        assert rec["t"] == pytest.approx(0.4, abs=1e-6)
