@@ -68,6 +68,45 @@ def measure(workloads: list[str], repeats: int,
               "workloads": workloads, "repeats": repeats})
 
 
+def parallel_probe(record: observatory.RunRecord) -> None:
+    """Run a small jobs=2 sharded simulation under the full observability
+    stack and fold the parallel engine's accounting into ``record``:
+    deterministic ``parallel.*`` counters (units through the pool, ledger
+    coverage) join the gated set, and the work-ledger scheduling gauges
+    (utilization, serialization bytes, LPT gap) ride along under the
+    looser informational gauge tolerance."""
+    import repro
+    from repro import metrics, perf
+    from repro.analysis.simulation import run_simulations
+    from repro.topology import sp_program
+
+    nets = [repro.load(sp_program(4, d)) for d in (0, 1, 2)]
+    perf.reset()
+    perf.enable()
+    metrics.reset()
+    metrics.enable()
+    try:
+        t0 = perf_counter()
+        run_simulations(nets, jobs=2,
+                        unit_labels=[f"prefix{d}" for d in (0, 1, 2)])
+        wall = perf_counter() - t0
+        snap = perf.snapshot()
+        gauges, _hists = metrics.sample()
+    finally:
+        perf.disable()
+        perf.reset()
+        metrics.disable()
+        metrics.reset()
+    record.timings["parallel_probe.wall_seconds"] = [wall]
+    record.counters.update(
+        {name: int(v) for name, v in snap.items()
+         if name.startswith("parallel.") and isinstance(v, int)})
+    record.gauges.update(
+        {name: float(v) for name, v in gauges.items()
+         if name.startswith("parallel.") and not name.endswith("_seconds")})
+    record.meta["parallel_probe"] = {"nets": len(nets), "jobs": 2}
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         description="Record the deterministic workloads as a RunRecord and "
@@ -88,6 +127,9 @@ def main(argv: list[str] | None = None) -> int:
                              "(default: $NV_RUNS_DIR, else .nv-runs/)")
     parser.add_argument("--no-store", action="store_true",
                         help="do not persist the record to the run store")
+    parser.add_argument("--no-parallel-probe", action="store_true",
+                        help="skip the jobs=2 sharded probe (its "
+                             "parallel.* counters and ledger gauges)")
     parser.add_argument("--inject-counter-inflation", type=float, default=0.0,
                         metavar="PCT",
                         help="inflate every measured counter by PCT%% before "
@@ -101,6 +143,8 @@ def main(argv: list[str] | None = None) -> int:
     workloads = args.workload or list(budgets.WORKLOADS)
     label = args.label or f"regress-{engine}"
     record = measure(workloads, max(1, args.repeats), label)
+    if not args.no_parallel_probe:
+        parallel_probe(record)
 
     if args.inject_counter_inflation:
         factor = 1.0 + args.inject_counter_inflation / 100.0

@@ -392,7 +392,8 @@ def fault_tolerance_sharded(net: Network,
     }
     reports = parallel.run_sharded(
         "repro.analysis.fault:_fault_shard_factory", payload, units,
-        jobs=jobs, start_method=start_method, label="fault")
+        jobs=jobs, start_method=start_method, label="fault",
+        unit_labels=[f"batch{i}(n={len(u)})" for i, u in enumerate(units)])
     perf.merge({"batches": len(units)}, prefix="fault.")
     return merge_fault_reports(reports)
 
@@ -424,11 +425,13 @@ def per_prefix_fault_tolerance(nets: Sequence[Network],
                                drop_body=None,
                                backend: str = "interp",
                                jobs: int | None = 1,
-                               start_method: str | None = None
+                               start_method: str | None = None,
+                               unit_labels: Sequence[str] | None = None
                                ) -> list[FaultReport]:
     """One fault-tolerance analysis per destination prefix, sharded over
     worker processes (the paper's fig 13c single-prefix mode).  Reports come
-    back in input order regardless of completion order."""
+    back in input order regardless of completion order.  ``unit_labels``
+    names each prefix program in unit spans and the work ledger."""
     payload = {
         "nets": list(nets), "symbolics": symbolics,
         "num_link_failures": num_link_failures,
@@ -439,7 +442,7 @@ def per_prefix_fault_tolerance(nets: Sequence[Network],
     return parallel.run_sharded(
         "repro.analysis.fault:_prefix_shard_factory", payload,
         range(len(payload["nets"])), jobs=jobs, start_method=start_method,
-        label="fault.prefix")
+        label="fault.prefix", unit_labels=unit_labels)
 
 
 def _naive_scenario_violates(net: Network, symbolics: dict[str, Any] | None,
@@ -483,7 +486,8 @@ def naive_fault_tolerance(net: Network,
     violations = parallel.run_sharded(
         "repro.analysis.fault:_naive_shard_factory",
         {"net": net, "symbolics": symbolics}, units,
-        jobs=jobs, start_method=start_method, label="fault.naive")
+        jobs=jobs, start_method=start_method, label="fault.naive",
+        unit_labels=[f"fail({u},{v})" for u, v in units])
     return (not any(violations)), len(units)
 
 

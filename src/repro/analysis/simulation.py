@@ -149,7 +149,8 @@ def run_simulations(nets: Sequence[Network],
                     incremental: bool = True,
                     lower: bool = False,
                     jobs: int | None = 1,
-                    start_method: str | None = None
+                    start_method: str | None = None,
+                    unit_labels: Sequence[str] | None = None
                     ) -> list[SimulationReport]:
     """Simulate several networks (one per destination prefix) to
     convergence, sharded over a :mod:`repro.parallel` worker pool.
@@ -157,6 +158,8 @@ def run_simulations(nets: Sequence[Network],
     Reports come back in input order; ``jobs=1`` runs the same units
     in-process through the same code path, so parallel output is identical
     to serial.  ``jobs=None`` resolves ``NV_JOBS`` / CPU count.
+    ``unit_labels`` names each network (e.g. its source file) in unit
+    spans and the work ledger.
     """
     payload = {"nets": list(nets), "symbolics": symbolics,
                "backend": backend, "incremental": incremental,
@@ -164,4 +167,4 @@ def run_simulations(nets: Sequence[Network],
     return parallel.run_sharded(
         "repro.analysis.simulation:_sim_shard_factory", payload,
         range(len(payload["nets"])), jobs=jobs, start_method=start_method,
-        label="sim")
+        label="sim", unit_labels=unit_labels)

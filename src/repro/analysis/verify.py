@@ -225,8 +225,13 @@ def verify_many(nets: Sequence[Network], simplify: bool = True,
                 jobs: int | None = 1,
                 start_method: str | None = None,
                 incremental: bool = False,
-                portfolio: int = 1) -> list[VerificationResult]:
+                portfolio: int = 1,
+                unit_labels: Sequence[str] | None = None
+                ) -> list[VerificationResult]:
     """Verify several networks (one SMT query per destination prefix).
+    ``unit_labels`` names each query (e.g. its source file) in unit spans
+    and the work ledger; incremental mode has no per-unit shards, so it
+    ignores them.
 
     Two execution strategies:
 
@@ -253,7 +258,7 @@ def verify_many(nets: Sequence[Network], simplify: bool = True,
     return parallel.run_sharded(
         "repro.analysis.verify:_verify_shard_factory", payload,
         range(len(payload["nets"])), jobs=jobs, start_method=start_method,
-        label="verify")
+        label="verify", unit_labels=unit_labels)
 
 
 def verify_many_incremental(nets: Sequence[Network], simplify: bool = True,

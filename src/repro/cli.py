@@ -131,7 +131,8 @@ def cmd_simulate(args: argparse.Namespace) -> int:
         # over the worker pool.  Labels come back frozen (picklable
         # snapshots) but summaries/violations are unaffected.
         reports = run_simulations(nets, symbolics, backend, lower=lower,
-                                  jobs=parallel.resolve_jobs(args.jobs))
+                                  jobs=parallel.resolve_jobs(args.jobs),
+                                  unit_labels=[str(f) for f in args.file])
     rc = 0
     for path, report in zip(args.file, reports):
         if len(nets) > 1:
@@ -196,7 +197,8 @@ def cmd_verify(args: argparse.Namespace) -> int:
             print("note: --portfolio ignored with multiple files "
                   "(queries shard across workers instead)", file=sys.stderr)
         results = verify_many(nets, max_conflicts=args.max_conflicts,
-                              jobs=parallel.resolve_jobs(args.jobs))
+                              jobs=parallel.resolve_jobs(args.jobs),
+                              unit_labels=[str(f) for f in args.file])
     rc = 0
     for path, result in zip(args.file, results):
         if len(nets) > 1:
@@ -275,8 +277,10 @@ def cmd_translate(args: argparse.Namespace) -> int:
 def cmd_report(args: argparse.Namespace) -> int:
     """``repro report trace.jsonl``: render a self-contained HTML run
     report from a ``--trace-json`` file and an optional ``--metrics-json``
-    snapshot."""
-    from .report import generate
+    snapshot.  ``--critical-path`` additionally prints the trace's
+    critical-path analysis (longest dependency chain vs total work,
+    parallel efficiency, LPT-bound gap) as text."""
+    from .report import generate, load_trace
 
     trace = Path(args.trace_file)
     if not trace.exists():
@@ -284,6 +288,15 @@ def cmd_report(args: argparse.Namespace) -> int:
     out = generate(trace, metrics_path=args.metrics,
                    out_path=args.output, title=args.title)
     print(f"wrote {out}")
+    if getattr(args, "critical_path", False):
+        from . import critpath
+
+        roots, _events = load_trace(trace)
+        rep = critpath.analyze(roots)
+        if rep is None:
+            print("critical path: trace contains no spans")
+        else:
+            print(critpath.render_text(rep))
     return 0
 
 
@@ -338,7 +351,10 @@ def cmd_runs(args: argparse.Namespace) -> int:
 
 def _save_run_record(args: argparse.Namespace, wall_seconds: float) -> None:
     """Persist a RunRecord of this CLI run (``--record [LABEL]``).  Called
-    while the perf/metrics registries are still live."""
+    while the perf/metrics registries are still live.  When the run also
+    wrote a ``--trace-json`` file, its critical-path analysis lands in the
+    record as ``parallel.*`` gauges, so ``repro runs diff`` tracks parallel
+    efficiency across runs."""
     from . import observatory
 
     record = observatory.capture(
@@ -347,6 +363,18 @@ def _save_run_record(args: argparse.Namespace, wall_seconds: float) -> None:
         trace_path=getattr(args, "trace_json", None),
         meta={"command": args.command,
               "file": getattr(args, "file", None)})
+    trace_json = getattr(args, "trace_json", None)
+    if trace_json:
+        try:
+            from . import critpath
+            from .report import load_trace
+
+            roots, _events = load_trace(trace_json)
+            rep = critpath.analyze(roots)
+            if rep is not None:
+                record.gauges.update(rep.gauges())
+        except OSError:  # pragma: no cover - unreadable trace
+            pass
     path = observatory.RunStore(getattr(args, "runs_dir", None)).save(record)
     print(f"recorded {record.run_id} -> {path}", file=sys.stderr)
 
@@ -508,6 +536,10 @@ def build_parser() -> argparse.ArgumentParser:
                         help="output HTML path (default: trace with .html)")
     report.add_argument("--title", default=None,
                         help="report title (default: trace file name)")
+    report.add_argument("--critical-path", action="store_true",
+                        help="also print the critical-path analysis "
+                             "(longest dependency chain, parallel "
+                             "efficiency, LPT-bound gap) as text")
     report.set_defaults(fn=cmd_report)
 
     runs = sub.add_parser(

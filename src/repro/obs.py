@@ -263,6 +263,7 @@ def now() -> float:
 
 
 def ingest(records: list[dict[str, Any]], t_offset: float | None = None,
+           id_map: dict[int, int] | None = None, parent_span: int = 0,
            **extra_attrs: Any) -> None:
     """Re-emit pre-serialised trace records into the current sink.
 
@@ -274,6 +275,16 @@ def ingest(records: list[dict[str, Any]], t_offset: float | None = None,
     rewritten consistently, ``t``/``t0`` are shifted by ``t_offset`` (the
     parent-timeline instant the worker's clock started), and
     ``extra_attrs`` (e.g. ``proc=3``) are stamped onto every record.
+
+    ``id_map`` optionally supplies a caller-held remap table so one source's
+    records can arrive over *several* calls (the parallel engine's streaming
+    worker flushes) and keep stable remapped ids — a span streamed first as
+    a ``"partial": true`` snapshot and later as its completed record keeps
+    one id, letting consumers dedup.  Without it a fresh table is used per
+    call.  ``parent_span`` (a parent-side span id, **not** remapped) re-roots
+    the source's root spans: records whose remapped parent/span link is 0
+    are linked under it instead, which is how worker span trees become
+    children of the dispatching ``*.sharded`` span.
 
     When ``t_offset`` is omitted it is derived from the records' ``meta``
     header: the worker's ``t_epoch`` minus this trace's origin epoch is the
@@ -290,7 +301,10 @@ def ingest(records: list[dict[str, Any]], t_offset: float | None = None,
                 if _origin_epoch:
                     t_offset = float(rec["t_epoch"]) - _origin_epoch
                 break
-    id_map: dict[int, int] = {0: 0}
+    if id_map is None:
+        id_map = {0: 0}
+    else:
+        id_map.setdefault(0, 0)
 
     def remap(old: Any) -> int:
         old = int(old or 0)
@@ -306,9 +320,9 @@ def ingest(records: list[dict[str, Any]], t_offset: float | None = None,
         if "id" in rec:
             rec["id"] = remap(rec["id"])
         if "parent" in rec:
-            rec["parent"] = remap(rec["parent"])
+            rec["parent"] = remap(rec["parent"]) or int(parent_span)
         if "span" in rec:
-            rec["span"] = remap(rec["span"])
+            rec["span"] = remap(rec["span"]) or int(parent_span)
         for key in ("t", "t0"):
             if key in rec:
                 rec[key] = round(float(rec[key]) + t_offset, 6)

@@ -133,10 +133,6 @@ def _fmt_n(value: Any) -> str:
     return str(value)
 
 
-def _span_depth(sp: SpanRec) -> int:
-    return 1 + max((_span_depth(c) for c in sp.children), default=0)
-
-
 def _count_spans(roots: Iterable[SpanRec]) -> int:
     return sum(1 + _count_spans(sp.children) for sp in roots)
 
@@ -149,12 +145,22 @@ _ROW_H = 22
 
 
 def _render_flame(root: SpanRec) -> str:
-    """One root span as a CSS flame chart (absolute-positioned rows)."""
-    depth = _span_depth(root)
+    """One root span as a CSS flame chart (absolute-positioned rows).
+
+    A span's children are grouped by their ``proc`` attribute (the worker
+    lane the parallel engine stamps on ingested records): each worker's
+    span tree gets its own contiguous vertical band under the dispatching
+    span, labelled ``worker N`` — the merged trace of an ``NV_JOBS≥2`` run
+    reads as one flame chart with per-worker lanes instead of interleaved
+    worker fragments.  Serial traces (no ``proc``) lay out exactly as
+    before: one band per nesting level.
+    """
     total = max(root.dur, 1e-9)
     cells: list[str] = []
+    lane_tags: list[tuple[int, Any]] = []
+    max_level = 0
 
-    def walk(sp: SpanRec, level: int) -> None:
+    def emit(sp: SpanRec, level: int) -> None:
         left = max(0.0, (sp.t0 - root.t0) / total * 100.0)
         width = max(0.15, sp.dur / total * 100.0)
         width = min(width, 100.0 - left)
@@ -173,17 +179,48 @@ def _render_flame(root: SpanRec) -> str:
             f'width:{width:.3f}%;top:{level * _ROW_H}px;'
             f'background:{_color(sp.name)}" title="{_esc(" | ".join(map(str, tip_parts)))}">'
             f'{_esc(sp.name)} {_fmt_t(sp.dur)}</div>')
-        for child in sp.children:
-            walk(child, level + 1)
 
-    walk(root, 0)
-    height = depth * _ROW_H + 4
+    def place(sp: SpanRec, level: int) -> int:
+        """Emit ``sp`` at ``level`` and lay its children out below it,
+        one vertical band per worker lane; returns the deepest level the
+        subtree used."""
+        nonlocal max_level
+        max_level = max(max_level, level)
+        emit(sp, level)
+        groups: dict[Any, list[SpanRec]] = {}
+        order: list[Any] = []
+        for c in sp.children:
+            key = c.attrs.get("proc")
+            if key not in groups:
+                groups[key] = []
+                order.append(key)
+            groups[key].append(c)
+        own = sp.attrs.get("proc")
+        cursor = level + 1
+        deepest = level
+        for key in order:
+            start = cursor
+            if key is not None and key != own:
+                lane_tags.append((start, key))
+            group_max = start
+            for c in groups[key]:
+                group_max = max(group_max, place(c, start))
+            cursor = group_max + 1
+            deepest = max(deepest, group_max)
+        return deepest
+
+    place(root, 0)
+    tags = "".join(
+        f'<span class="lane-tag" style="top:{lvl * _ROW_H}px">'
+        f'worker {_esc(key)}</span>'
+        for lvl, key in sorted(set(lane_tags), key=lambda t: t[0]))
+    height = (max_level + 1) * _ROW_H + 4
     label = (f"{_esc(root.name)} — {_fmt_t(root.dur)}, "
              f"{_count_spans([root]) - 1} child spans"
              + (" <em>(partial)</em>" if root.partial else ""))
     return (f'<h3>{label}</h3>'
             f'<div class="flame" style="height:{height}px">'
-            + "".join(cells) + "</div>")
+            + "".join(cells) + tags + "</div>")
 
 
 def _render_timeline(events: list[dict[str, Any]],
@@ -264,6 +301,73 @@ def _render_gauges(gauges: Mapping[str, Any]) -> str:
     return f"<table>{rows}</table>"
 
 
+def _render_critical_path(roots: list[SpanRec]) -> str:
+    """Critical-path summary of the span forest: wall vs total work,
+    parallel efficiency, LPT-bound gap, and the chain itself."""
+    from . import critpath  # deferred: keep report importable standalone
+
+    rep = critpath.analyze(roots)
+    if rep is None:
+        return "<p>No spans to analyse.</p>"
+    rows: list[tuple[str, str]] = [
+        ("wall clock", _fmt_t(rep.wall_seconds)),
+        ("total work", _fmt_t(rep.total_work_seconds)),
+        ("critical path", f"{_fmt_t(rep.critical_seconds)} "
+                          f"({rep.cp_ratio_pct:.1f}% of wall)"),
+        ("lanes", f"{rep.lanes:d}"),
+        ("speedup", f"{rep.speedup:.2f}x"),
+        ("parallel efficiency", f"{rep.efficiency_pct:.1f}%"),
+    ]
+    if rep.lpt_bound_seconds is not None:
+        gap = (f" (gap {rep.lpt_gap_pct:+.1f}%)"
+               if rep.lpt_gap_pct is not None else "")
+        rows.append(("LPT bound", f"{_fmt_t(rep.lpt_bound_seconds)} over "
+                                  f"{rep.unit_count} unit(s){gap}"))
+    table = "<table>" + "".join(
+        f"<tr><td>{_esc(k)}</td><td class='num'>{_esc(v)}</td></tr>"
+        for k, v in rows) + "</table>"
+    if not rep.chain:
+        return table
+    chain_rows = "".join(
+        f"<tr><td class='num'>{e.t0:.3f}s</td>"
+        f"<td>{'&nbsp;&nbsp;' * max(0, e.depth)}{_esc(e.name)}</td>"
+        f"<td class='num'>{_fmt_t(e.dur)}</td>"
+        f"<td>{_esc(e.proc) if e.proc is not None else ''}</td>"
+        f"<td>{_esc(e.unit) if e.unit is not None else ''}</td></tr>"
+        for e in rep.chain[:40])
+    more = (f"<p class='meta'>… {len(rep.chain) - 40} more chain spans</p>"
+            if len(rep.chain) > 40 else "")
+    return (table + f"<h3>Longest dependency chain "
+            f"({len(rep.chain)} spans)</h3>"
+            "<table><tr><th>t0</th><th>span</th><th>dur</th>"
+            "<th>worker</th><th>unit</th></tr>" + chain_rows + "</table>"
+            + more)
+
+
+def _render_ledger(events: list[dict[str, Any]]) -> str:
+    """The ``parallel.ledger`` events (one per sharded round) as
+    utilization/queue-wait/serialization accounting tables."""
+    ledgers = [e for e in events if e.get("name") == "parallel.ledger"]
+    if not ledgers:
+        return ("<p>No parallel work ledger in the trace (run with "
+                "observability enabled and <code>--jobs N</code>).</p>")
+    out: list[str] = []
+    for ev in ledgers:
+        attrs = ev.get("attrs") or {}
+        label = attrs.get("label", "parallel")
+        out.append(
+            f"<h3>{_esc(label)} — {attrs.get('units_done', '?')}/"
+            f"{attrs.get('units', '?')} units on "
+            f"{attrs.get('workers', '?')} worker(s), "
+            f"utilization {attrs.get('utilization_pct', '?')}%</h3>")
+        rows = "".join(
+            f"<tr><td>{_esc(k)}</td><td class='num'>{_fmt_n(v)}</td></tr>"
+            for k, v in sorted(attrs.items())
+            if k != "label" and isinstance(v, (int, float)))
+        out.append(f"<table>{rows}</table>")
+    return "".join(out)
+
+
 _CSS = """
 body { font: 13px/1.5 -apple-system, "Segoe UI", Roboto, sans-serif;
        margin: 24px auto; max-width: 1100px; color: #1b1f24; }
@@ -282,6 +386,10 @@ td.num { text-align: right; font-variant-numeric: tabular-nums; }
                box-sizing: border-box; border: 1px solid rgba(0,0,0,.25); }
 .flame .cell.partial { background-image: repeating-linear-gradient(
     45deg, rgba(255,255,255,.35) 0 6px, transparent 6px 12px); }
+.flame .lane-tag { position: absolute; right: 2px; z-index: 2;
+                   font-size: 9px; line-height: 20px; color: #57606a;
+                   background: rgba(246,248,250,.85); padding: 0 3px;
+                   border-radius: 2px; }
 .timeline { background: #f6f8fa; border-radius: 4px; padding: 4px 0;
             margin-bottom: 10px; }
 .lane { position: relative; height: 18px; margin: 2px 0; }
@@ -336,6 +444,10 @@ def render_html(roots: list[SpanRec], events: list[dict[str, Any]],
         parts.extend(_render_flame(sp) for sp in roots)
     else:
         parts.append("<p>No spans in the trace.</p>")
+    parts.append("<h2>Critical path</h2>")
+    parts.append(_render_critical_path(roots))
+    parts.append("<h2>Parallel work ledger</h2>")
+    parts.append(_render_ledger(events))
     parts.append("<h2>Event timeline</h2>")
     parts.append(_render_timeline(events, t_min, t_max))
     parts.append("<h2>Histograms</h2>")

@@ -7,10 +7,12 @@ processes as well as forked ones.
 
 from __future__ import annotations
 
+import os
+import signal
 import time
 from typing import Any
 
-from repro import perf
+from repro import obs, perf
 
 
 def make_square(payload: dict[str, Any]):
@@ -24,11 +26,55 @@ def make_square(payload: dict[str, Any]):
 
 
 def make_failing(payload: dict[str, Any]):
+    """Counts a ``testpool.units`` per unit *before* the bad unit raises,
+    so error-path flush tests can assert the counter survived."""
     bad = payload["bad_unit"]
 
     def run(i: int) -> int:
+        perf.merge({"units": 1}, prefix="testpool.")
         if i == bad:
             raise ValueError(f"unit {i} exploded")
+        return i
+
+    return run
+
+
+def make_sleepy(payload: dict[str, Any]):
+    """Sleeps ``delay`` seconds per unit — wall time workloads (ledger,
+    critical-path, straggler tests) can reason about."""
+    delay = payload.get("delay", 0.05)
+
+    def run(i: int) -> int:
+        perf.merge({"units": 1}, prefix="testpool.")
+        time.sleep(delay)
+        return i
+
+    return run
+
+
+def make_tracer(payload: dict[str, Any]):
+    """Opens a nested span + event per unit (trace-merge tests)."""
+
+    def run(i: int) -> int:
+        perf.merge({"units": 1}, prefix="testpool.")
+        with obs.span("testpool.work", unit=i):
+            obs.event("testpool.tick", unit=i)
+        return i
+
+    return run
+
+
+def make_killer(payload: dict[str, Any]):
+    """SIGKILLs its own process on ``kill_unit`` after ``delay`` seconds —
+    long enough for the streaming flusher to have shipped a partial-span
+    delta, which is exactly the evidence the test asserts survives."""
+    kill = payload.get("kill_unit")
+    delay = payload.get("delay", 0.5)
+
+    def run(i: int) -> int:
+        if i == kill:
+            time.sleep(delay)
+            os.kill(os.getpid(), signal.SIGKILL)
         return i
 
     return run

@@ -428,3 +428,56 @@ class TestMetaHeader:
                      "t": 0.4}])
         (rec,) = [r for r in _sink_records(sink) if r.get("name") == "e"]
         assert rec["t"] == pytest.approx(0.4, abs=1e-6)
+
+
+class TestIngestStreaming:
+    def test_persistent_id_map_keeps_remaps_stable(self):
+        """Streaming delta ingestion: a partial span record from one flush
+        and its completed record from a later flush must land under the
+        *same* remapped id, so the report's partial-dedup still applies."""
+        sink = io.StringIO()
+        obs.enable(jsonl=sink)
+        id_map = {0: 0}
+        obs.ingest([{"type": "span", "id": 7, "parent": 0, "name": "w",
+                     "t0": 0.0, "dur": 0.1, "partial": True}],
+                   id_map=id_map)
+        obs.ingest([{"type": "span", "id": 7, "parent": 0, "name": "w",
+                     "t0": 0.0, "dur": 0.5}], id_map=id_map)
+        recs = [r for r in _sink_records(sink) if r.get("name") == "w"]
+        assert len(recs) == 2
+        assert recs[0]["id"] == recs[1]["id"]
+        assert recs[0].get("partial") and not recs[1].get("partial")
+
+    def test_fresh_map_per_call_would_collide_across_workers(self):
+        """Separate maps (one per worker) keep ids distinct even when both
+        workers used the same local span ids."""
+        sink = io.StringIO()
+        obs.enable(jsonl=sink)
+        maps = [{0: 0}, {0: 0}]
+        for wid in (0, 1):
+            obs.ingest([{"type": "span", "id": 1, "parent": 0, "name": "w",
+                         "t0": 0.0, "dur": 0.1}], id_map=maps[wid], proc=wid)
+        recs = [r for r in _sink_records(sink) if r.get("name") == "w"]
+        assert recs[0]["id"] != recs[1]["id"]
+
+    def test_parent_span_reroots_worker_roots(self):
+        """Worker root spans (parent 0 locally) adopt the dispatch span as
+        their parent; nested spans keep their remapped local parent."""
+        sink = io.StringIO()
+        obs.enable(jsonl=sink)
+        with obs.span("dispatch") as sp:
+            dispatch_id = sp.id
+        obs.ingest([
+            {"type": "span", "id": 1, "parent": 0, "name": "w.root",
+             "t0": 0.0, "dur": 0.2},
+            {"type": "span", "id": 2, "parent": 1, "name": "w.child",
+             "t0": 0.0, "dur": 0.1},
+            {"type": "event", "id": 3, "span": 0, "name": "w.note", "t": 0.0},
+        ], parent_span=dispatch_id)
+        recs = _sink_records(sink)
+        (root,) = [r for r in recs if r.get("name") == "w.root"]
+        (child,) = [r for r in recs if r.get("name") == "w.child"]
+        (note,) = [r for r in recs if r.get("name") == "w.note"]
+        assert root["parent"] == dispatch_id
+        assert child["parent"] == root["id"]
+        assert note["span"] == dispatch_id

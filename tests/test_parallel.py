@@ -1,15 +1,40 @@
 """Tests for the :mod:`repro.parallel` process-pool subsystem: job
 resolution, chunking, serial/parallel equivalence of the pool itself, error
-propagation, worker counter aggregation, and the first-answer-wins race."""
+propagation, worker counter aggregation, the first-answer-wins race, and
+the cross-process tracing layer (dispatch linking, streaming deltas,
+error/SIGKILL evidence, clock-skew correction, the work ledger)."""
+
+import io
+import json
 
 import pytest
 
-from repro import parallel, perf
+from repro import metrics, obs, parallel, perf
 
 SQUARE = "tests.parallel_factories:make_square"
 FAILING = "tests.parallel_factories:make_failing"
+SLEEPY = "tests.parallel_factories:make_sleepy"
+TRACER = "tests.parallel_factories:make_tracer"
+KILLER = "tests.parallel_factories:make_killer"
 RACER = "tests.parallel_factories:racer"
 CRASHER = "tests.parallel_factories:crashing_racer"
+
+
+@pytest.fixture
+def clean_obs():
+    """Tests that enable tracing/metrics start and end clean."""
+    for mod in (obs, metrics, perf):
+        mod.disable()
+        mod.reset()
+    yield
+    for mod in (obs, metrics, perf):
+        mod.disable()
+        mod.reset()
+
+
+def _sink_records(sink):
+    return [json.loads(line) for line in sink.getvalue().strip().splitlines()
+            if line]
 
 
 class TestResolveJobs:
@@ -81,6 +106,155 @@ class TestRunSharded:
         assert snap.get("testpool.units") == 8
         assert snap.get("parallel.sharded_runs") == 1
         assert snap.get("parallel.units") == 8
+
+
+class TestDispatchLinking:
+    def test_worker_spans_parent_to_dispatch(self, clean_obs):
+        """The tentpole property: worker unit spans land in the parent's
+        trace as *children of the dispatch span*, each stamped with its
+        worker lane (``proc``) and the dispatch id it carried out."""
+        sink = io.StringIO()
+        obs.enable(jsonl=sink)
+        parallel.run_sharded(TRACER, {}, range(8), jobs=2,
+                             label="testpool")
+        obs.disable()
+        recs = _sink_records(sink)
+        (dispatch,) = [r for r in recs if r.get("name") == "testpool.sharded"
+                       and not r.get("partial")]
+        units = [r for r in recs if r.get("name") == "testpool.unit"
+                 and not r.get("partial")]
+        assert len(units) == 8
+        assert {u["parent"] for u in units} == {dispatch["id"]}
+        assert {u["attrs"]["proc"] for u in units} <= {0, 1}
+        assert all(u["attrs"]["dispatch"] == dispatch["id"] for u in units)
+        # Nested worker spans hang off their unit span, not the dispatch.
+        work = [r for r in recs if r.get("name") == "testpool.work"
+                and not r.get("partial")]
+        assert len(work) == 8
+        assert {w["parent"] for w in work} <= {u["id"] for u in units}
+
+    def test_remapped_ids_unique(self, clean_obs):
+        sink = io.StringIO()
+        obs.enable(jsonl=sink)
+        parallel.run_sharded(TRACER, {}, range(6), jobs=2,
+                             label="testpool")
+        obs.disable()
+        spans = [r for r in _sink_records(sink)
+                 if r.get("type") == "span" and not r.get("partial")]
+        ids = [r["id"] for r in spans]
+        assert len(ids) == len(set(ids))
+        id_set = set(ids)
+        assert all(r["parent"] == 0 or r["parent"] in id_set for r in spans)
+
+    def test_unit_labels_stamped(self, clean_obs):
+        sink = io.StringIO()
+        obs.enable(jsonl=sink)
+        parallel.run_sharded(SQUARE, {}, range(3), jobs=2,
+                             label="testpool",
+                             unit_labels=["a.nv", "b.nv", "c.nv"])
+        obs.disable()
+        units = [r for r in _sink_records(sink)
+                 if r.get("name") == "testpool.unit" and not r.get("partial")]
+        assert sorted(u["attrs"]["unit_label"] for u in units) == \
+            ["a.nv", "b.nv", "c.nv"]
+
+
+class TestStreamingDeltas:
+    def test_counters_exact_under_streaming(self, clean_obs, monkeypatch):
+        """Aggressive periodic flushing must not double-count: each delta
+        ships only the diff since the previous flush."""
+        monkeypatch.setenv("NV_STREAM_SECONDS", "0.01")
+        perf.enable()
+        parallel.run_sharded(SLEEPY, {"delay": 0.05}, range(8), jobs=2)
+        snap = perf.snapshot()
+        assert snap.get("testpool.units") == 8
+
+    def test_error_path_flushes_before_raise(self, clean_obs, monkeypatch):
+        """Satellite: a worker that raises flushes its counters *before*
+        reporting the error, so the work it did is not lost.  Streaming is
+        off, so the only possible delta is the error-path final flush."""
+        monkeypatch.setenv("NV_STREAM_SECONDS", "0")
+        perf.enable()
+        with pytest.raises(parallel.ParallelError):
+            parallel.run_sharded(FAILING, {"bad_unit": 0}, range(6), jobs=2)
+        snap = perf.snapshot()
+        # The erroring worker counted unit 0 before raising; its final
+        # flush delivered that counter despite the failure.  The surviving
+        # worker was terminated without a final flush, so nothing else can
+        # have arrived (bad_unit=0 is in the first chunk a worker pulls).
+        assert snap.get("testpool.units") == 1
+
+    def test_sigkilled_worker_leaves_partial_trace(self, clean_obs,
+                                                   monkeypatch):
+        """Acceptance criterion: kill -9 a worker mid-unit; the merged
+        trace still shows what it was executing (a ``partial`` unit span
+        with its lane), because the streaming flush already shipped it."""
+        monkeypatch.setenv("NV_STREAM_SECONDS", "0.05")
+        sink = io.StringIO()
+        obs.enable(jsonl=sink)
+        with pytest.raises(parallel.ParallelError) as exc:
+            parallel.run_sharded(KILLER, {"kill_unit": 0, "delay": 0.6},
+                                 range(4), jobs=2, chunk_size=2,
+                                 label="testpool")
+        obs.disable()
+        assert "died" in str(exc.value)
+        partial_units = [r for r in _sink_records(sink)
+                         if r.get("name") == "testpool.unit"
+                         and r.get("partial")]
+        assert partial_units, "killed worker left no partial unit span"
+        assert any(r["attrs"].get("unit") == 0 for r in partial_units)
+        assert all("proc" in r["attrs"] for r in partial_units)
+
+    def test_clock_skew_corrected_for_late_worker(self, clean_obs,
+                                                  monkeypatch):
+        """Satellite: a worker that starts late (import cost, spawn) must
+        have its spans placed by its *own* meta-header epoch, not the
+        pool-creation fallback — its unit spans sit well after t=0."""
+        monkeypatch.setenv("NV_TEST_WORKER_START_DELAY", "0.4")
+        sink = io.StringIO()
+        obs.enable(jsonl=sink)
+        t_pool = obs.now()
+        parallel.run_sharded(SQUARE, {}, range(4), jobs=2,
+                             label="testpool")
+        obs.disable()
+        units = [r for r in _sink_records(sink)
+                 if r.get("name") == "testpool.unit" and not r.get("partial")]
+        assert len(units) == 4
+        # Every unit ran after the artificial 0.4s startup delay; the
+        # pool-creation fallback would have placed them near t_pool.
+        assert all(u["t0"] >= t_pool + 0.3 for u in units)
+
+
+class TestWorkLedger:
+    def test_ledger_event_summarises_round(self, clean_obs):
+        sink = io.StringIO()
+        obs.enable(jsonl=sink)
+        metrics.enable()
+        parallel.run_sharded(SLEEPY, {"delay": 0.02}, range(6), jobs=2)
+        obs.disable()
+        (led,) = [r for r in _sink_records(sink)
+                  if r.get("name") == "parallel.ledger"]
+        a = led["attrs"]
+        assert a["units"] == 6
+        assert a["units_done"] == 6
+        assert a["units_lost"] == 0
+        assert a["workers"] == 2
+        assert 0.0 < a["utilization_pct"] <= 100.0
+        assert a["busy_seconds"] > 0.0
+        gauges, hists = metrics.sample()
+        assert gauges.get("parallel.utilization_pct") == a["utilization_pct"]
+        assert hists["parallel.unit_seconds"].count == 6
+        assert hists["parallel.queue_wait_seconds"].count == 6
+
+    def test_ledger_counts_serial_path_too(self, clean_obs):
+        perf.enable()
+        parallel.run_sharded(SLEEPY, {"delay": 0.0}, range(5), jobs=1)
+        assert perf.snapshot().get("parallel.ledger_units") == 5
+
+    def test_no_ledger_when_observability_disabled(self):
+        # No registry enabled: the ledger must not run (zero overhead).
+        out = parallel.run_sharded(SQUARE, {}, range(4), jobs=2)
+        assert out == [i * i for i in range(4)]
 
 
 class TestRace:

@@ -135,6 +135,69 @@ class TestRenderHtml:
         assert "&lt;script&gt;" in html
 
 
+class TestParallelSections:
+    @pytest.fixture
+    def sharded_trace(self, tmp_path):
+        """A trace shaped like a merged jobs=2 sharded run: dispatch span
+        with per-worker unit lanes plus a ledger event."""
+        trace = tmp_path / "sharded.jsonl"
+        recs = [
+            {"type": "span", "id": 1, "parent": 0, "name": "simulate",
+             "t0": 0.0, "dur": 2.0, "attrs": {}, "counters": {}},
+            {"type": "span", "id": 2, "parent": 1, "name": "sim.sharded",
+             "t0": 0.1, "dur": 1.8, "attrs": {"units": 2, "jobs": 2},
+             "counters": {}},
+            {"type": "span", "id": 3, "parent": 2, "name": "sim.unit",
+             "t0": 0.2, "dur": 1.5, "attrs": {"unit": 0, "proc": 0},
+             "counters": {}},
+            {"type": "span", "id": 4, "parent": 2, "name": "sim.unit",
+             "t0": 0.2, "dur": 1.6, "attrs": {"unit": 1, "proc": 1},
+             "counters": {}},
+            {"type": "event", "id": 5, "span": 2, "name": "parallel.ledger",
+             "t": 1.9, "attrs": {"label": "sim", "workers": 2, "units": 2,
+                                 "units_done": 2, "utilization_pct": 86.1}},
+        ]
+        trace.write_text("\n".join(json.dumps(r) for r in recs) + "\n")
+        return trace
+
+    def test_worker_lane_tags_rendered(self, sharded_trace):
+        roots, events = load_trace(sharded_trace)
+        html = render_html(roots, events, None, title="lanes")
+        assert html.count('class="lane-tag"') >= 2
+        assert "worker 0" in html and "worker 1" in html
+
+    def test_critical_path_section(self, sharded_trace):
+        roots, events = load_trace(sharded_trace)
+        html = render_html(roots, events, None, title="cp")
+        assert "Critical path" in html
+        assert "efficiency" in html.lower()
+
+    def test_ledger_section(self, sharded_trace):
+        roots, events = load_trace(sharded_trace)
+        html = render_html(roots, events, None, title="led")
+        assert "Parallel work ledger" in html
+        assert "utilization_pct" in html
+
+    def test_sections_degrade_without_parallel_data(self, session_trace):
+        trace, _ = session_trace
+        roots, events = load_trace(trace)
+        html = render_html(roots, events, None, title="plain")
+        # A serial trace still renders; no lane tags appear (the CSS rule
+        # is always in the stylesheet, the elements are not).
+        assert 'class="lane-tag"' not in html
+
+    def test_cli_critical_path_flag(self, sharded_trace, tmp_path, capsys):
+        from repro.cli import main
+
+        out = tmp_path / "r.html"
+        rc = main(["report", str(sharded_trace), "-o", str(out),
+                   "--critical-path"])
+        assert rc == 0
+        text = capsys.readouterr().out
+        assert "critical path:" in text
+        assert "total work:" in text
+
+
 class TestCli:
     def test_report_subcommand(self, session_trace, tmp_path, capsys):
         from repro.cli import main
