@@ -48,7 +48,10 @@ class DecodedMap:
         return self.default
 
 
-def encode_network(net: Network, simplify: bool = True, tm: Any = None
+def encode_network(net: Network, simplify: bool = True, tm: Any = None,
+                   nodes: Sequence[int] | None = None,
+                   inbound: dict[tuple[int, int], Any] | None = None,
+                   outbound: dict[tuple[int, int], Any] | None = None,
                    ) -> tuple[NvSmtEncoder, TermEvaluator, int]:
     """Encode the stable-state semantics of ``net``; returns the encoder, the
     evaluator and the boolean term for the property P (conjunction of the
@@ -56,7 +59,23 @@ def encode_network(net: Network, simplify: bool = True, tm: Any = None
 
     ``tm`` (optional) encodes into a shared :class:`TermManager`: queries
     over the same topology then hash-cons their common structure — the
-    incremental path's shared network encoding."""
+    incremental path's shared network encoding.
+
+    ``nodes`` restricts the encoding to a *fragment*: only those nodes get
+    attribute variables and stable-state constraints, and only edges with
+    both endpoints inside the fragment contribute transfers.  Cut edges are
+    modelled through interface specs (:mod:`repro.analysis.partition`):
+
+    * ``inbound`` maps a cut edge ``(u, v)`` (``v`` in the fragment) to a
+      spec whose ``materialise(enc, ev, env, edge)`` returns the *assumed*
+      post-transfer message, merged into ``v`` like any neighbour route;
+    * ``outbound`` maps a cut edge ``(u, v)`` (``u`` in the fragment) to a
+      spec whose ``obligation(enc, ev, env, edge, msg)`` returns a boolean
+      term stating the fragment *guarantees* the annotation for the message
+      it actually sends.  Obligations land in ``enc.guarantee_terms`` and
+      are NOT conjoined into P — the driver discharges each separately so
+      a failure names the violated interface edge.
+    """
     enc = NvSmtEncoder(net, simplify=simplify, tm=tm)
     ev = TermEvaluator(enc)
     tm = enc.tm
@@ -80,30 +99,67 @@ def encode_network(net: Network, simplify: bool = True, tm: Any = None
     merge_f = env["merge"]
     assert_f = env.get("assert")
 
-    # Attribute variable per node.
-    for u in range(net.num_nodes):
+    node_list: Sequence[int]
+    if nodes is None:
+        node_list = range(net.num_nodes)
+        node_set = None
+    else:
+        node_list = sorted(set(nodes))
+        node_set = set(node_list)
+        for u in node_list:
+            if not 0 <= u < net.num_nodes:
+                raise NvEncodingError(f"fragment node {u} out of range")
+
+    # Attribute variable per (fragment) node.
+    for u in node_list:
         enc.attr_vals[u] = enc.make_var(net.attr_ty, f"attr.{u}")
 
     in_edges: list[list[tuple[int, int]]] = [[] for _ in range(net.num_nodes)]
     for u, v in net.edges:
-        in_edges[v].append((u, v))
+        if node_set is None or (u in node_set and v in node_set):
+            in_edges[v].append((u, v))
+    inbound = inbound or {}
+    inbound_by_dst: dict[int, list[tuple[int, int]]] = {}
+    for edge in sorted(inbound):
+        if node_set is not None and edge[1] not in node_set:
+            raise NvEncodingError(
+                f"inbound interface {edge} does not target the fragment")
+        inbound_by_dst.setdefault(edge[1], []).append(edge)
 
     # Stable-state constraints (§2.5): A_u = init(u) ⊕ trans(e, A_v) ...
-    for u in range(net.num_nodes):
+    # Cut edges contribute their *assumed* interface message instead of a
+    # transfer from the (absent) neighbour's attribute variable.
+    for u in node_list:
         expected = ev.apply(init_f, u)
         for edge in in_edges[u]:
             transferred = ev.apply(ev.apply(trans_f, edge), enc.attr_vals[edge[0]])
             expected = ev.apply(ev.apply(ev.apply(merge_f, u), expected), transferred)
+        for edge in inbound_by_dst.get(u, ()):
+            assumed = inbound[edge].materialise(enc, ev, env, edge)
+            expected = ev.apply(ev.apply(ev.apply(merge_f, u), expected), assumed)
         if not isinstance(expected, (TB, TI, TOpt, TTup, TRec, TMap, TEdgeV)):
             expected = enc.lift(expected, net.attr_ty)
         enc.constraints.append(enc.t_eq(enc.attr_vals[u], expected))
 
+    # Outbound guarantees: what the fragment actually sends across each cut
+    # edge must satisfy the annotation the neighbouring fragment assumes.
+    enc.guarantee_terms = {}
+    for edge in sorted(outbound or {}):
+        u = edge[0]
+        if node_set is not None and u not in node_set:
+            raise NvEncodingError(
+                f"outbound interface {edge} does not leave the fragment")
+        msg = ev.apply(ev.apply(trans_f, edge), enc.attr_vals[u])
+        enc.guarantee_terms[edge] = (outbound or {})[edge].obligation(
+            enc, ev, env, edge, msg)
+
     # The property P.
     prop = tm.true
     if assert_f is not None:
-        for u in range(net.num_nodes):
+        for u in node_list:
             holds = ev.apply(ev.apply(assert_f, u), enc.attr_vals[u])
             prop = tm.mk_and(prop, ev.to_bool_term(holds))
+    enc.decl_env = env
     return enc, ev, prop
 
 
@@ -313,9 +369,8 @@ def verify_many_incremental(nets: Sequence[Network], simplify: bool = True,
     results: list[VerificationResult] = []
     for i, (net, enc, query) in enumerate(queries):
         t0 = perf_counter()
-        solver.push_assumption(query)
-        smt = solver.check(max_conflicts, portfolio=portfolio, jobs=jobs)
-        solver.relax()
+        smt = solver.check_assuming(query, max_conflicts,
+                                    portfolio=portfolio, jobs=jobs)
         per_query = perf_counter() - t0
         obs.event("verify.incremental_query", index=i,
                   status=smt.status, seconds=round(per_query, 6),

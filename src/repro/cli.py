@@ -179,6 +179,9 @@ def cmd_explain(args: argparse.Namespace) -> int:
 def cmd_verify(args: argparse.Namespace) -> int:
     _maybe_enable_stats(args)
     nets = [_load_network(f) for f in args.file]
+    if (args.partition is not None or args.cuts is not None
+            or args.partition_method is not None):
+        return _cmd_verify_partitioned(args, nets)
     if len(nets) == 1:
         results = [smt_verify(nets[0], max_conflicts=args.max_conflicts,
                               portfolio=args.portfolio, jobs=args.jobs)]
@@ -216,6 +219,49 @@ def cmd_verify(args: argparse.Namespace) -> int:
     if args.stats:
         print(perf.report())
     return rc
+
+
+def _cmd_verify_partitioned(args: argparse.Namespace,
+                            nets: list[Network]) -> int:
+    """``repro verify --partition K`` / ``--cuts FILE``: modular
+    (Kirigami-style) verification of one network — cut, verify fragments in
+    parallel across ``--jobs`` workers, discharge interfaces."""
+    from .analysis.partition import verify_partitioned
+    from .partition import load_cut_file
+
+    if len(nets) > 1:
+        raise SystemExit("--partition/--cuts verify a single network "
+                         "(the parallel axis is across fragments, not files)")
+    net = nets[0]
+    symbolics = _parse_symbolics(args.symbolic, net) or None
+    cuts = load_cut_file(args.cuts) if args.cuts else None
+    report = verify_partitioned(
+        net, partition=args.partition, cuts=cuts,
+        method=args.partition_method or "auto",
+        max_conflicts=args.max_conflicts,
+        jobs=parallel.resolve_jobs(args.jobs), symbolics=symbolics)
+    print(report.summary())
+    if report.status == "counterexample":
+        for name, value in (report.counterexample or {}).items():
+            print(f"  symbolic {name} = {value_repr(value)}")
+        if args.show_routes and report.node_attrs:
+            scope = ("stitched whole-network state" if report.stitched
+                     else "failing fragment(s) only")
+            print(f"  counterexample routes ({scope}):")
+            for node, attr in sorted(report.node_attrs.items()):
+                print(f"  node {node}: {value_repr(attr)}")
+    for fr in report.fragments:
+        for g in fr.guarantees:
+            if g.status == "refuted" and g.witness and args.show_routes:
+                print(f"  interface {g.edge[0]}->{g.edge[1]} violated by "
+                      f"fragment {fr.index} stable state:")
+                for node, attr in sorted(g.witness.items()):
+                    print(f"    node {node}: {value_repr(attr)}")
+    if args.stats:
+        print(perf.report())
+    if report.verified:
+        return 0
+    return 1 if report.status == "counterexample" else 2
 
 
 def cmd_fault(args: argparse.Namespace) -> int:
@@ -474,6 +520,30 @@ def build_parser() -> argparse.ArgumentParser:
                              "assumption-based solver (default); "
                              "--no-incremental falls back to one fresh "
                              "solver per query, sharded across --jobs")
+    verify.add_argument("--partition", type=int, default=None, metavar="K",
+                        help="modular verification: cut the network into K "
+                             "fragments, verify them in parallel across "
+                             "--jobs workers and discharge the interface "
+                             "annotations (inferred from simulation unless "
+                             "--cuts provides them)")
+    verify.add_argument("--cuts", default=None, metavar="FILE",
+                        help="modular verification from a JSON cut file "
+                             "(fragments or cut_links + per-edge interface "
+                             "annotations; see README 'Modular "
+                             "verification')")
+    verify.add_argument("--partition-method", default=None,
+                        choices=["auto", "pods", "bfs", "spectral"],
+                        help="automatic cut heuristic for --partition "
+                             "(default auto: fat-tree pods when role "
+                             "metadata exists, else spectral bisection); "
+                             "giving a method implies modular verification "
+                             "even without --partition")
+    verify.add_argument("--symbolic", action="append", default=[],
+                        metavar="NAME=VALUE",
+                        help="concrete symbolic values for partition "
+                             "interface inference (the simulation pass "
+                             "needs them; fragment SMT still explores all "
+                             "assignments)")
     _add_obs_args(verify)
     _add_jobs_arg(verify)
     verify.set_defaults(fn=cmd_verify)

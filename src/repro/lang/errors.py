@@ -33,3 +33,8 @@ class NvEncodingError(NvError):
 
 class NvTransformError(NvError):
     """Raised when a program transformation's preconditions are not met."""
+
+
+class NvPartitionError(NvError):
+    """Raised by the modular-verification cutter/driver on invalid
+    partitions, cut files or interface annotations."""

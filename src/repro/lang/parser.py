@@ -583,9 +583,15 @@ def parse_program(source: str,
     return Parser(tokenize(source)).parse_program(include_resolver)
 
 
-def parse_expr(source: str) -> A.Expr:
-    """Parse a single NV expression (handy in tests and the REPL)."""
-    parser = Parser(tokenize(source))
+def parse_expr(source: str,
+               type_env: dict[str, T.Type] | None = None) -> A.Expr:
+    """Parse a single NV expression (handy in tests and the REPL).
+
+    ``type_env`` supplies type aliases (e.g. a program's ``attribute``) so
+    ascriptions like ``fun (x : attribute) -> ...`` parse outside a full
+    program — interface annotations in cut files rely on this.
+    """
+    parser = Parser(tokenize(source), type_env=dict(type_env or {}))
     e = parser.parse_expr()
     parser.expect("eof")
     return e

@@ -417,7 +417,13 @@ def describe(record: RunRecord) -> str:
         for name in sorted(record.counters):
             lines.append(f"  {name:<40} {record.counters[name]:>14,d}")
     if record.gauges:
-        lines.append(f"gauges: {len(record.gauges)}")
+        # Listed by name, not just counted: partitioned-verify runs carry
+        # their fragment-count / interface-size gauges (partition.*) here.
+        lines.append(f"gauges ({len(record.gauges)}):")
+        for name in sorted(record.gauges):
+            value = record.gauges[name]
+            shown = f"{value:,.4g}" if isinstance(value, float) else f"{value:,}"
+            lines.append(f"  {name:<40} {shown:>14}")
     if record.histograms:
         lines.append("histograms: " + ", ".join(sorted(record.histograms)))
     return "\n".join(lines)

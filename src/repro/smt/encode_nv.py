@@ -267,6 +267,19 @@ class NvSmtEncoder:
         if isinstance(ty, T.TRecord):
             return TRec(tuple((n, self.lift(value.get(n), t))
                               for n, t in ty.fields))
+        if isinstance(ty, T.TDict):
+            # Accept any unrolled map exposing ``get(key)`` plus a shared
+            # ``default`` (e.g. analysis.verify.DecodedMap): only the keys
+            # this encoding tracks are distinguishable, matching the TMap
+            # semantics.  Live NVMaps are not accepted — unroll them first.
+            if not (hasattr(value, "get") and hasattr(value, "default")):
+                raise NvEncodingError(
+                    f"cannot lift map {value!r}: need an unrolled map with "
+                    "get()/default (see analysis.partition)")
+            keys = self.map_keys.get(ty.key, [])
+            return TMap(ty.key, ty.value,
+                        {k: self.lift(value.get(k), ty.value) for k in keys},
+                        self.lift(value.default, ty.value))
         raise NvEncodingError(f"cannot lift {value!r} at type {ty}")
 
     def zero(self, ty: T.Type) -> Any:

@@ -184,6 +184,21 @@ class Solver:
         else:
             del self._stack[len(self._stack) - n:]
 
+    def check_assuming(self, term: int, max_conflicts: int | None = None,
+                       portfolio: int = 1, jobs: int | None = None
+                       ) -> SmtResult:
+        """Decide the assertions with ``term`` temporarily assumed on top of
+        the current stack, then retract it.  The workhorse of selector
+        reuse: the partition driver discharges each property and interface
+        obligation of a fragment through this against one persistent
+        solver, so the fragment's encoding is preprocessed once and learnt
+        clauses carry across the checks."""
+        self.push_assumption(term)
+        try:
+            return self.check(max_conflicts, portfolio=portfolio, jobs=jobs)
+        finally:
+            self.relax(1)
+
     def _assumption_lit(self, term: int) -> int:
         lit = self._handles.get(term)
         if lit is None:

@@ -1,0 +1,65 @@
+"""Tests for the Topology graph helpers the partition cutter relies on."""
+
+import pytest
+
+from repro.topology import fattree
+from repro.topology.graph import Topology
+
+
+def test_components_connected_graph():
+    topo = Topology(4, [(0, 1), (1, 2), (2, 3)])
+    assert topo.components() == [[0, 1, 2, 3]]
+    assert topo.is_connected()
+
+
+def test_components_reports_stranded_nodes():
+    topo = Topology(6, [(0, 1), (2, 3)])  # node 4 and 5 isolated
+    assert topo.components() == [[0, 1], [2, 3], [4], [5]]
+    assert not topo.is_connected()
+
+
+def test_components_cover_and_disjoint():
+    topo = fattree(4)
+    comps = topo.components()
+    seen = [u for comp in comps for u in comp]
+    assert sorted(seen) == list(range(topo.num_nodes))
+    assert len(seen) == len(set(seen))
+
+
+def test_components_empty_graph():
+    assert Topology(0, []).components() == []
+
+
+def test_induced_subgraph_renumbers_densely():
+    topo = Topology(5, [(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)],
+                    roles={0: "a", 2: "b", 4: "c"})
+    sub, new_to_old = topo.induced_subgraph([0, 2, 3, 4])
+    assert new_to_old == [0, 2, 3, 4]
+    assert sub.num_nodes == 4
+    # Links surviving: (2,3) -> (1,2), (3,4) -> (2,3), (4,0) -> (3,0).
+    assert sorted((min(u, v), max(u, v)) for u, v in sub.links) == \
+        [(0, 3), (1, 2), (2, 3)]
+    assert sub.roles == {0: "a", 1: "b", 3: "c"}
+
+
+def test_induced_subgraph_accepts_sets_and_duplicates():
+    topo = Topology(3, [(0, 1), (1, 2)])
+    sub, new_to_old = topo.induced_subgraph({2, 0, 2})
+    assert new_to_old == [0, 2]
+    assert sub.num_links == 0
+
+
+def test_induced_subgraph_out_of_range():
+    topo = Topology(3, [(0, 1)])
+    with pytest.raises(ValueError):
+        topo.induced_subgraph([0, 7])
+
+
+def test_induced_subgraph_of_fattree_pod():
+    topo = fattree(4)
+    # Pod membership in fattree(4): edge switches 0..7, agg 8..15; pod 0 is
+    # edges {0,1} and aggs {8,9}.
+    sub, new_to_old = topo.induced_subgraph([0, 1, 8, 9])
+    assert sub.num_nodes == 4
+    assert sub.is_connected()
+    assert all(sub.roles[i] in ("edge", "agg") for i in range(4))
