@@ -1,0 +1,79 @@
+"""Shared fresh-subprocess min-of-N timing protocol for BENCH generation.
+
+Every BENCH_pr*.json cell follows one schema, produced here so the bench
+scripts cannot drift apart:
+
+* each *run* is a **fresh process** — the bench script re-executes itself
+  with ``--worker ...``, the worker times exactly one measurement with
+  ``time.perf_counter`` and prints a single JSON line that must contain a
+  ``"seconds"`` key (plus any invariants the harness asserts on);
+* each *cell* is the **minimum over N runs**, reported as the best run's
+  payload plus a ``"runs"`` list of every run's seconds — single-CPU
+  containers see ±20% wall-clock noise with occasional 2x outliers, so
+  conclusions are drawn from minimums and the full list is kept for
+  honesty;
+* a ``None`` cell means every run exceeded its timeout (DNF).
+
+Used by ``bench_partition.py``, ``bench_fig13b_fault_scaling.py`` and
+``bench_fig14_simulation.py`` (each keeps its own worker modes and
+invariants; only the process/minimum protocol lives here).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+from typing import Any, Mapping, Sequence
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def run_fresh(script: str, worker_args: Sequence[str],
+              env: Mapping[str, str] | None = None,
+              timeout: float | None = None) -> dict[str, Any] | None:
+    """One fresh-process measurement: re-execute ``script`` with
+    ``worker_args``; the worker prints one JSON object (its last stdout
+    line) containing at least ``"seconds"``.  Returns ``None`` on timeout
+    (DNF); raises on worker failure.  ``env`` entries overlay the current
+    environment (``PYTHONPATH`` is always pointed at the repo's ``src``)."""
+    cmd = [sys.executable, os.path.abspath(script), *worker_args]
+    full_env = dict(os.environ)
+    full_env["PYTHONPATH"] = os.path.join(REPO, "src")
+    if env:
+        full_env.update(env)
+    try:
+        proc = subprocess.run(cmd, capture_output=True, text=True,
+                              timeout=timeout, env=full_env)
+    except subprocess.TimeoutExpired:
+        return None
+    if proc.returncode != 0:
+        raise RuntimeError(
+            f"bench worker failed ({' '.join(worker_args)}):\n{proc.stderr}")
+    return json.loads(proc.stdout.strip().splitlines()[-1])
+
+
+def min_of(cells: Sequence[dict[str, Any]]) -> dict[str, Any]:
+    """Reduce a cell's runs to the schema: best run's payload + the full
+    ``runs`` seconds list (sorted order preserved as measured)."""
+    best = min(cells, key=lambda c: c["seconds"])
+    best = dict(best)
+    best["runs"] = [c["seconds"] for c in cells]
+    return best
+
+
+def measure(script: str, worker_args: Sequence[str], runs: int = 3,
+            env: Mapping[str, str] | None = None,
+            timeout: float | None = None) -> dict[str, Any] | None:
+    """``runs`` fresh-process measurements reduced via :func:`min_of`.
+    Returns ``None`` (DNF) only if *every* run timed out."""
+    cells = [run_fresh(script, worker_args, env=env, timeout=timeout)
+             for _ in range(runs)]
+    alive = [c for c in cells if c is not None]
+    if not alive:
+        return None
+    cell = min_of(alive)
+    if len(alive) != len(cells):
+        cell["timeouts"] = len(cells) - len(alive)
+    return cell

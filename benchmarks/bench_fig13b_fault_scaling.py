@@ -12,6 +12,13 @@ Scaled setup: FatTree k=4/6/8 x {1,2} failures, a 60-node carrier WAN x
 at 1 failure.  The two shapes to observe: near-flat growth across fat-tree
 sizes per failure budget, and the WAN's sharply worse 2- and 3-failure times
 (leaf-class counts in extra_info show the sharing collapse directly).
+
+Run as a script for the BENCH protocol (fresh-process min-of-N cells via
+:mod:`_timing`, one cell per engine configuration)::
+
+    PYTHONPATH=src python benchmarks/bench_fig13b_fault_scaling.py --runs 3 \
+        [--failures 2] [--engines object,arena,arena-scalar,arena-vectorized] \
+        [--src /path/to/other/tree/src] [--out cells.json]
 """
 
 import pytest
@@ -19,6 +26,15 @@ import pytest
 from conftest import sizes
 from repro.analysis.fault import fault_tolerance_analysis
 from repro.topology import sp_program, uscarrier_like, wan_program
+
+#: Engine configurations a BENCH cell can pin, as env overlays.
+ENGINE_ENVS = {
+    "object": {"NV_BDD_ENGINE": "object"},
+    "arena": {"NV_BDD_ENGINE": "arena"},
+    "arena-scalar": {"NV_BDD_ENGINE": "arena", "NV_BDD_NUMPY": "0"},
+    "arena-vectorized": {"NV_BDD_ENGINE": "arena",
+                         "NV_BDD_FRONTIER_MIN": "0"},
+}
 
 FATTREE_CASES = sizes([(k, f) for k in (4, 6, 8) for f in (1, 2)])
 WAN_CASES = sizes([1, 2, 3])
@@ -82,3 +98,84 @@ def test_sharing_collapse_report(networks_cache, capsys):
         print("\nfig13b failure-equivalence classes (sharing):")
         for name, failures, mx, avg in rows:
             print(f"  {name:9s} {failures}-link: max {mx:3d}  avg {avg:5.1f}")
+
+
+# ----------------------------------------------------------------------
+# BENCH protocol entry point (fresh-process min-of-N, see _timing.py)
+# ----------------------------------------------------------------------
+
+def _worker(failures: int) -> None:
+    """One fresh-process measurement of the WAN-60 headline cell: times
+    ``fault_tolerance_analysis`` only (parse/type-check excluded), prints
+    the timing plus the invariants the harness asserts on."""
+    import json
+    import time
+
+    from repro.lang.parser import parse_program
+    from repro.protocols import resolve
+    from repro.srp.network import Network
+
+    topo = uscarrier_like(60, 100)
+    net = Network.from_program(parse_program(wan_program(topo), resolve))
+    t0 = time.perf_counter()
+    report = fault_tolerance_analysis(net, num_link_failures=failures)
+    seconds = time.perf_counter() - t0
+    print(json.dumps({
+        "seconds": round(seconds, 3),
+        "classes": report.max_classes,
+        "tolerant": report.fault_tolerant,
+    }))
+
+
+def main(argv=None) -> int:
+    import argparse
+    import json
+
+    from _timing import measure
+
+    ap = argparse.ArgumentParser(
+        description="fig13b WAN-60 BENCH cells (fresh-process min-of-N)")
+    ap.add_argument("--runs", type=int, default=3)
+    ap.add_argument("--failures", type=int, default=2)
+    ap.add_argument("--engines", default="object,arena,arena-scalar,"
+                                         "arena-vectorized")
+    ap.add_argument("--src", default=None,
+                    help="PYTHONPATH of another tree to measure with the "
+                         "same protocol (e.g. a seed-commit worktree)")
+    ap.add_argument("--out", default=None)
+    ap.add_argument("--worker", action="store_true", help=argparse.SUPPRESS)
+    args = ap.parse_args(argv)
+
+    if args.worker:
+        _worker(args.failures)
+        return 0
+
+    cells: dict = {}
+    classes = None
+    for name in [e for e in args.engines.split(",") if e]:
+        env = dict(ENGINE_ENVS[name])
+        if args.src:
+            env["PYTHONPATH"] = args.src
+        cell = measure(__file__, ["--worker", "--failures",
+                                  str(args.failures)],
+                       runs=args.runs, env=env)
+        assert cell is not None
+        if classes is None:
+            classes = cell["classes"]
+        # Every engine must see the same equivalence classes — the BENCH
+        # protocol's in-band correctness invariant.
+        assert cell["classes"] == classes, (name, cell, classes)
+        cells[name] = cell
+        print(f"  {name:18s} min {cell['seconds']:.3f}s  "
+              f"runs {cell['runs']}")
+    if args.out:
+        with open(args.out, "w") as fh:
+            json.dump(cells, fh, indent=2, sort_keys=True)
+        print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    import sys
+
+    sys.exit(main())

@@ -14,6 +14,12 @@ materialise (recorded honestly in EXPERIMENTS.md); the two paper shapes that
 * memory/sharing: the baseline's RIB state grows as nodes x prefixes x
   neighbours, while the shared MTBDD store grows far slower — the mechanism
   behind the paper's 2GB-vs-OOM result.
+
+Run as a script for the BENCH protocol (fresh-process min-of-N cells via
+:mod:`_timing`, one cell per engine configuration)::
+
+    PYTHONPATH=src python benchmarks/bench_fig14_simulation.py --runs 3 \
+        [--k 12] [--engines object,arena,arena-scalar] [--out cells.json]
 """
 
 import tracemalloc
@@ -104,3 +110,91 @@ def test_memory_comparison(networks_cache, capsys):
         print("\nfig14 peak traced memory (MB):")
         for k, nv_mb, bf_mb in rows:
             print(f"  k={k:2d}  NV {nv_mb:7.1f}  batfish-style {bf_mb:7.1f}")
+
+
+# ----------------------------------------------------------------------
+# BENCH protocol entry point (fresh-process min-of-N, see _timing.py)
+# ----------------------------------------------------------------------
+
+#: Engine configurations a BENCH cell can pin, as env overlays.
+ENGINE_ENVS = {
+    "object": {"NV_BDD_ENGINE": "object"},
+    "arena": {"NV_BDD_ENGINE": "arena"},
+    "arena-scalar": {"NV_BDD_ENGINE": "arena", "NV_BDD_NUMPY": "0"},
+    "arena-vectorized": {"NV_BDD_ENGINE": "arena",
+                         "NV_BDD_FRONTIER_MIN": "0"},
+}
+
+
+def _worker(k: int) -> None:
+    """One fresh-process measurement of the interpreted all-prefixes
+    simulation (``functions_from_program`` + ``simulate``, parse/type-check
+    excluded — the BENCH_pr6 fig14 cell's scope)."""
+    import json
+    import time
+
+    from repro.lang.parser import parse_program
+    from repro.protocols import resolve
+    from repro.srp.network import Network
+
+    net = Network.from_program(
+        parse_program(all_prefixes_program(k, POLICY), resolve))
+    t0 = time.perf_counter()
+    funcs = functions_from_program(net)
+    solution = simulate(funcs)
+    seconds = time.perf_counter() - t0
+    print(json.dumps({
+        "seconds": round(seconds, 3),
+        "iterations": solution.iterations,
+    }))
+
+
+def main(argv=None) -> int:
+    import argparse
+    import json
+
+    from _timing import measure
+
+    ap = argparse.ArgumentParser(
+        description="fig14 interpreted-simulation BENCH cells "
+                    "(fresh-process min-of-N)")
+    ap.add_argument("--runs", type=int, default=3)
+    ap.add_argument("--k", type=int, default=12)
+    ap.add_argument("--engines", default="object,arena,arena-scalar")
+    ap.add_argument("--src", default=None,
+                    help="PYTHONPATH of another tree to measure with the "
+                         "same protocol (e.g. a seed-commit worktree)")
+    ap.add_argument("--out", default=None)
+    ap.add_argument("--worker", action="store_true", help=argparse.SUPPRESS)
+    args = ap.parse_args(argv)
+
+    if args.worker:
+        _worker(args.k)
+        return 0
+
+    cells: dict = {}
+    iterations = None
+    for name in [e for e in args.engines.split(",") if e]:
+        env = dict(ENGINE_ENVS[name])
+        if args.src:
+            env["PYTHONPATH"] = args.src
+        cell = measure(__file__, ["--worker", "--k", str(args.k)],
+                       runs=args.runs, env=env)
+        assert cell is not None
+        if iterations is None:
+            iterations = cell["iterations"]
+        assert cell["iterations"] == iterations, (name, cell, iterations)
+        cells[name] = cell
+        print(f"  {name:18s} min {cell['seconds']:.3f}s  "
+              f"runs {cell['runs']}")
+    if args.out:
+        with open(args.out, "w") as fh:
+            json.dump(cells, fh, indent=2, sort_keys=True)
+        print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    import sys
+
+    sys.exit(main())

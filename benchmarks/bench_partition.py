@@ -32,12 +32,12 @@ from __future__ import annotations
 import argparse
 import json
 import os
-import subprocess
 import sys
 import tempfile
 from typing import Any
 
-REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+from _timing import min_of as _min_of
+from _timing import run_fresh
 
 
 # ----------------------------------------------------------------------
@@ -80,28 +80,12 @@ def _worker(mode: str, k: int, jobs: int, trace: str | None) -> None:
 
 def _run_cell(mode: str, k: int, jobs: int = 1, timeout: float | None = None,
               trace: str | None = None) -> dict[str, Any] | None:
-    """One fresh-process measurement; ``None`` on timeout (DNF)."""
-    cmd = [sys.executable, os.path.abspath(__file__), "--worker", mode,
-           "--k", str(k), "--jobs", str(jobs)]
+    """One fresh-process measurement; ``None`` on timeout (DNF).  The
+    process/minimum protocol lives in :mod:`_timing`."""
+    args = ["--worker", mode, "--k", str(k), "--jobs", str(jobs)]
     if trace:
-        cmd += ["--trace", trace]
-    env = dict(os.environ)
-    env["PYTHONPATH"] = os.path.join(REPO, "src")
-    try:
-        proc = subprocess.run(cmd, capture_output=True, text=True,
-                              timeout=timeout, env=env)
-    except subprocess.TimeoutExpired:
-        return None
-    if proc.returncode != 0:
-        raise RuntimeError(f"worker failed ({mode} k={k}):\n{proc.stderr}")
-    return json.loads(proc.stdout.strip().splitlines()[-1])
-
-
-def _min_of(cells: list[dict[str, Any]]) -> dict[str, Any]:
-    best = min(cells, key=lambda c: c["seconds"])
-    best = dict(best)
-    best["runs"] = [c["seconds"] for c in cells]
-    return best
+        args += ["--trace", trace]
+    return run_fresh(__file__, args, timeout=timeout)
 
 
 # ----------------------------------------------------------------------

@@ -75,8 +75,16 @@ def perf_counters():
 @pytest.fixture(scope="session", autouse=True)
 def bench_report_session():
     """``NV_BENCH_REPORT``-gated session trace + metrics for the HTML run
-    report (no-op otherwise, so plain benchmark timing stays unperturbed)."""
+    report (no-op otherwise, so plain benchmark timing stays unperturbed).
+    ``NV_METRICS_JSON`` alone enables the metrics registry only — enough
+    for the terminal-summary snapshot dump without the session trace."""
     if not REPORT_DIR:
+        if os.environ.get("NV_METRICS_JSON"):
+            metrics.reset()
+            metrics.enable()
+            yield
+            metrics.disable()
+            return
         yield
         return
     out = Path(REPORT_DIR)
@@ -155,6 +163,18 @@ def pytest_terminal_summary(terminalreporter, exitstatus, config):
     if out and snap:
         Path(out).write_text(json.dumps(snap, indent=2, sort_keys=True) + "\n")
         terminalreporter.write_line(f"perf counter snapshot written to {out}")
+    # ``NV_METRICS_JSON=path`` dumps the metrics snapshot (gauges +
+    # histograms — under ``NV_TELEMETRY=1`` that includes the arena
+    # engine's ``bdd.frontier_width``/``bdd.batch_width`` histograms) so
+    # CI can archive kernel-shape distributions next to the counters.
+    mout = os.environ.get("NV_METRICS_JSON")
+    if mout:
+        msnap = metrics.snapshot()
+        if msnap:
+            Path(mout).write_text(
+                json.dumps(msnap, indent=2, sort_keys=True) + "\n")
+            terminalreporter.write_line(
+                f"metrics snapshot written to {mout}")
     if REPORT_DIR:
         trace = Path(REPORT_DIR) / "bench_trace.jsonl"
         if trace.exists():

@@ -164,6 +164,7 @@ def fault_tolerance_analysis(net: Network,
          obs.span("fault.classes", witnesses=with_witnesses,
                   batched=link_batch is not None) as sp:
         width = ctx.encoder.width(key_ty)
+        violating: list[tuple[int, NVMap]] = []
         for u in range(ft_net.num_nodes):
             label = solution.labels[u]
             assert isinstance(label, NVMap)
@@ -172,9 +173,10 @@ def fault_tolerance_analysis(net: Network,
                        for value, count in groups.items()]
             reports.append(NodeFaultReport(u, classes))
             if with_witnesses and any(not ok for _, _, ok in classes):
-                witness = _violation_witness(label, key_ty, check, u, restrict)
-                if witness is not None:
-                    witnesses[u] = witness
+                violating.append((u, label))
+        if violating:
+            witnesses.update(
+                _violation_witnesses(violating, key_ty, check, restrict))
         if sp is not None:
             sp.attrs["max_classes"] = max(
                 (n.num_classes for n in reports), default=0)
@@ -188,17 +190,31 @@ def _violation_witness(label: NVMap, key_ty: T.Type, check, node: int,
     """A concrete failure scenario under which ``node`` violates the
     assertion, decoded from the converged MTBDD.  ``restrict`` bounds the
     search to a key slice (defaults to the full valid-key domain)."""
-    mgr = label.ctx.manager
-    bad = mgr.apply1(lambda value: not check(node, value), label.root)
+    out = _violation_witnesses([(node, label)], key_ty, check, restrict)
+    return out.get(node)
+
+
+def _violation_witnesses(items: Sequence[tuple[int, NVMap]], key_ty: T.Type,
+                         check, restrict: int | None = None) -> dict[int, Any]:
+    """Witness scenarios for many ``(node, label)`` pairs at once: the
+    per-node ``bad`` indicator maps are built in one ``apply1_many`` batch
+    (each node's assertion closure is its own group, but they share the
+    frontier passes), then each witness is a sat path through its map."""
+    ctx = items[0][1].ctx
+    mgr = ctx.manager
     if restrict is None:
-        restrict = label.ctx.domain(key_ty)
-    bad = mgr.band(bad, restrict)
-    width = label.ctx.encoder.width(key_ty)
-    assignment = mgr.any_sat(bad, width)
-    if assignment is None:
-        return None
-    bits = [assignment[i] for i in range(width)]
-    return label.ctx.encoder.decode(key_ty, bits)
+        restrict = ctx.domain(key_ty)
+    bads = mgr.apply1_many(
+        [(lambda value, _u=u: not check(_u, value), label.root, None)
+         for u, label in items])
+    width = ctx.encoder.width(key_ty)
+    out: dict[int, Any] = {}
+    for (u, _label), bad in zip(items, bads):
+        assignment = mgr.any_sat(mgr.band(bad, restrict), width)
+        if assignment is not None:
+            bits = [assignment[i] for i in range(width)]
+            out[u] = ctx.encoder.decode(key_ty, bits)
+    return out
 
 
 def _batch_member_bdd(ctx: MapContext, node_failures: bool,
@@ -458,6 +474,7 @@ def _naive_scenario_violates(net: Network, symbolics: dict[str, Any] | None,
         return base_trans(edge, x)
 
     funcs.trans = trans
+    funcs.trans_many = None   # the override invalidates any batch form
     solution = simulate(funcs)
     return bool(solution.check_assertions(funcs.assert_fn))
 

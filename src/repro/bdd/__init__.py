@@ -19,9 +19,18 @@ import os
 from .arena import ArenaBddManager
 from .manager import BddManager, LEAF_LEVEL
 
-__all__ = ["ArenaBddManager", "BddManager", "LEAF_LEVEL", "make_manager"]
+__all__ = ["ArenaBddManager", "BddManager", "LEAF_LEVEL", "engine_hint",
+           "make_manager"]
 
 _ENGINES = {"object": BddManager, "arena": ArenaBddManager}
+
+#: One-line description of the most recently constructed manager (engine,
+#: numpy availability, frontier thresholds).  ``repro.observatory`` copies
+#: it into the RunRecord env fingerprint so ``repro runs diff`` can
+#: attribute a timing delta to an engine-choice difference — fig13b runs
+#: ~1.3x slower on ``arena`` than ``object`` when numpy is unavailable
+#: (BENCH_pr10.json), which is invisible if records only say "arena".
+_last_hint: str | None = None
 
 
 def engine_name() -> str:
@@ -33,10 +42,29 @@ def engine_name() -> str:
     return name
 
 
+def engine_hint() -> str | None:
+    """The construction hint left by the last :func:`make_manager` call
+    (``None`` until a manager has been built in this process)."""
+    return _last_hint
+
+
 def make_manager(**kwargs):
     """Construct the BDD manager selected by ``NV_BDD_ENGINE``.
 
     The environment variable is read per call (not at import), so tests can
     flip engines with ``monkeypatch.setenv``.
     """
-    return _ENGINES[engine_name()](**kwargs)
+    global _last_hint
+    name = engine_name()
+    mgr = _ENGINES[name](**kwargs)
+    if name == "arena":
+        np = mgr._np
+        if np is None:
+            _last_hint = "arena+scalar"
+        else:
+            _last_hint = (f"arena+numpy-{np.__version__}"
+                          f"(frontier_min={mgr._frontier_min},"
+                          f"width={mgr._frontier_width})")
+    else:
+        _last_hint = name
+    return mgr

@@ -72,7 +72,7 @@ def env_fingerprint() -> dict[str, Any]:
     """The run environment a comparison must control for.  Diffs surface
     fingerprint mismatches so an apples-to-oranges comparison (different
     engine, different interpreter) is labelled as such."""
-    from .bdd import engine_name
+    from .bdd import engine_hint, engine_name
 
     try:
         import numpy
@@ -84,6 +84,7 @@ def env_fingerprint() -> dict[str, Any]:
     return {
         "git_sha": _git_sha(),
         "engine": engine_name(),
+        "engine_hint": engine_hint(),
         "numpy": numpy_version,
         "jobs": os.environ.get("NV_JOBS") or None,
         "python": platform.python_version(),
@@ -402,7 +403,7 @@ def describe(record: RunRecord) -> str:
         f"when   {when}",
         "env    " + ", ".join(
             f"{k}={env.get(k)}" for k in
-            ("engine", "git_sha", "python", "numpy", "jobs")
+            ("engine", "engine_hint", "git_sha", "python", "numpy", "jobs")
             if env.get(k) is not None),
     ]
     if record.trace_path:

@@ -10,7 +10,11 @@ observable: canonical snapshots (byte-identical blobs + leaf lists),
 and leaf multisets.  Engine variants with ``op_cache_limit=1`` and with
 ``clear_caches`` interleaved mid-run must stay equivalent too (memo tables
 are semantically transparent), as must the arena's pure-``array`` fallback
-when numpy is disabled via ``NV_BDD_NUMPY=0``.
+when numpy is disabled via ``NV_BDD_NUMPY=0`` and the forced
+level-synchronous vectorised configuration (``NV_BDD_FRONTIER_MIN=0``).
+Programs interleave single-root ops with the multi-root batched forms
+(``apply1_many`` / ``apply2_many`` / ``map_ite_many``), in both the
+shared-memo and private-memo groupings.
 """
 
 import pytest
@@ -55,6 +59,18 @@ _op = st.one_of(
               st.lists(st.booleans(), min_size=NUM_VARS, max_size=NUM_VARS),
               _values),
     st.tuples(st.just("mk"), _levels, _idx, _idx),
+    # Multi-root batched ops, interleaved freely with the single-root ones
+    # above.  The trailing boolean picks shared-memo grouping (one memo
+    # dict across the batch — the fault driver's usage) vs memo=None
+    # (private memo per item).
+    st.tuples(st.just("apply1_many"), _fn1,
+              st.lists(_idx, min_size=1, max_size=4), st.booleans()),
+    st.tuples(st.just("apply2_many"), _fn2,
+              st.lists(st.tuples(_idx, _idx), min_size=1, max_size=4),
+              st.booleans()),
+    st.tuples(st.just("map_ite_many"), _fn1, _fn1,
+              st.lists(st.tuples(_idx, _idx), min_size=1, max_size=3),
+              st.booleans()),
 )
 _programs = st.lists(_op, min_size=1, max_size=24)
 
@@ -102,6 +118,24 @@ def _run(mgr, program, clear_every=None):
             maps.append(mgr.set_path(maps[op[1] % len(maps)],
                                      list(enumerate(op[2])),
                                      mgr.leaf(op[3])))
+        elif kind == "apply1_many":
+            fn = FN1[op[1]]
+            memo = {} if op[3] else None
+            maps.extend(mgr.apply1_many(
+                [(fn, maps[i % len(maps)], memo) for i in op[2]]))
+        elif kind == "apply2_many":
+            fn = FN2[op[1]]
+            memo = {} if op[3] else None
+            maps.extend(mgr.apply2_many(
+                [(fn, maps[i % len(maps)], maps[j % len(maps)], memo)
+                 for i, j in op[2]]))
+        elif kind == "map_ite_many":
+            ft, ff = FN1[op[1]], FN1[op[2]]
+            # Shared memos require a shared function pair; preds vary freely.
+            m, mt, mf = ({}, {}, {}) if op[4] else (None, None, None)
+            maps.extend(mgr.map_ite_many(
+                [(bools[p % len(bools)], ft, ff, maps[r % len(maps)],
+                  m, mt, mf) for p, r in op[3]]))
         elif kind == "mk":
             lvl = op[1]
             lo = maps[op[2] % len(maps)]
@@ -181,6 +215,90 @@ def test_numpy_fallback_matches(program):
             os.environ["NV_BDD_NUMPY"] = old
 
 
+def _vectorized_arena(**kwargs):
+    """An arena manager whose frontier threshold is forced to 0, so every
+    apply/map — single-root and batched — takes the level-synchronous
+    vectorised path regardless of diagram size."""
+    import os
+    old = os.environ.get("NV_BDD_FRONTIER_MIN")
+    os.environ["NV_BDD_FRONTIER_MIN"] = "0"
+    try:
+        return ArenaBddManager(**kwargs)
+    finally:
+        if old is None:
+            os.environ.pop("NV_BDD_FRONTIER_MIN", None)
+        else:
+            os.environ["NV_BDD_FRONTIER_MIN"] = old
+
+
+@settings(max_examples=40, deadline=None)
+@given(_programs)
+def test_vectorized_arena_matches_object_engine(program):
+    _check(program, BddManager(), _vectorized_arena())
+
+
+@settings(max_examples=20, deadline=None)
+@given(_programs)
+def test_vectorized_survives_cache_limit_one(program):
+    # Frontier passes seed their task tables from the per-op memo; a
+    # one-entry cache must only cost speed, never change a snapshot.
+    _check(program, BddManager(), _vectorized_arena(op_cache_limit=1))
+
+
+@settings(max_examples=20, deadline=None)
+@given(_programs)
+def test_vectorized_survives_mid_run_clear_caches(program):
+    _check(program, BddManager(), _vectorized_arena(), clear_every=3)
+
+
+def test_many_reentrant_callback_under_batched_insertion():
+    """Batched insertion meets a re-entrant combine callback: while a
+    forced-vectorised ``apply2_many`` pass is resolving its leaf tasks, the
+    callback mints hundreds of fresh nodes (forcing unique-table rehashes
+    mid-pass) and runs a nested ``apply1`` on the same manager.  The pass's
+    batched ``mk`` phase must then probe the live post-rehash table —
+    anything less mints duplicate ids and breaks hash-consing."""
+    import itertools
+
+    mgr = _vectorized_arena()
+    tags = itertools.count()
+
+    def fn(a, b):
+        for _ in range(400):
+            mgr.mk(5, mgr.false, mgr.leaf(("pad", next(tags))))
+        inner = mgr.mk(4, mgr.leaf("i0"), mgr.leaf("i1"))
+        mgr.apply1(lambda v: ("inner", v), inner)  # nested vectorised pass
+        return (a, b)
+
+    def build(m):
+        m1 = m.mk(0, m.leaf("x0"), m.mk(1, m.leaf("x1"), m.leaf("x2")))
+        m2 = m.mk(0, m.leaf("y0"), m.mk(1, m.leaf("y1"), m.leaf("y2")))
+        m3 = m.mk(2, m.leaf("z0"), m.leaf("z1"))
+        return m1, m2, m3
+
+    m1, m2, m3 = build(mgr)
+    memo: dict = {}
+    r1, r2 = mgr.apply2_many([(fn, m1, m2, memo), (fn, m2, m3, memo)])
+    # A cold-memo rerun must reuse the consed nodes, not re-mint them.
+    assert mgr.apply2_many([(fn, m1, m2, None), (fn, m2, m3, None)]) \
+        == [r1, r2]
+    # Global canonicity: no two internal nodes share a (level, lo, hi).
+    seen: dict = {}
+    for n in range(mgr.size()):
+        if not mgr.is_leaf(n):
+            key = (mgr.level(n), mgr.lo(n), mgr.hi(n))
+            assert key not in seen, \
+                f"duplicate nodes {seen[key]} and {n} for {key}"
+            seen[key] = n
+    # And both results match the object-engine spec structurally.
+    spec = BddManager()
+    s1, s2, s3 = build(spec)
+    expect = spec.apply2_many([(lambda a, b: (a, b), s1, s2, None),
+                               (lambda a, b: (a, b), s2, s3, None)])
+    assert mgr.snapshot(r1) == spec.snapshot(expect[0])
+    assert mgr.snapshot(r2) == spec.snapshot(expect[1])
+
+
 def test_apply2_reentrant_callback_keeps_canonicity():
     """A combine callback may re-enter the manager (merge functions over
     map-valued routes build nodes mid-apply2).  If that forces a
@@ -232,7 +350,9 @@ def test_snapshots_are_cross_engine_identical():
 
     program = [("leaf", 3), ("var", 0), ("var", 2), ("band", 2, 3),
                ("apply2", "pair", 1, 0), ("map_ite", 4, "tag", "id", 2),
-               ("set_path", 2, [True, False, True, False, False, True], "z")]
+               ("set_path", 2, [True, False, True, False, False, True], "z"),
+               ("apply2_many", "pair", [(2, 3), (1, 4)], True),
+               ("apply1_many", "tag", [5, 6], False)]
     spec_mgr, arena_mgr = BddManager(), ArenaBddManager()
     spec_bools, spec_maps = _run(spec_mgr, program)
     arena_bools, arena_maps = _run(arena_mgr, program)
